@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper table/figure at reproduction scale,
+saves the rendered result under ``results/`` (so the regenerated rows are
+inspectable after a ``--benchmark-only`` run), and asserts the paper's
+qualitative *shape* (who wins, monotonicity, diagonals).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments.common import ResultTable, render_results
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(result: "ResultTable | list[ResultTable]", name: str) -> None:
+    """Persist a rendered experiment table under results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(render_results(result) + "\n")

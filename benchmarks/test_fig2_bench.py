@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 2 (embedding-method correlation comparison)."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_fig2(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("fig2", scale=0.6, seed=0),
+        rounds=1, iterations=1,
+    )
+    save_result(table, "fig2")
+    disciplines = table.columns[1:]
+    # Shape: SEM beats every single-space embedding method on average and
+    # wins the majority of discipline columns outright.
+    sem_mean = sum(table.cell("SEM", d) for d in disciplines) / len(disciplines)
+    for method in ("SHPE", "Doc2Vec", "BERT"):
+        other = sum(table.cell(method, d) for d in disciplines) / len(disciplines)
+        assert sem_mean > other, (method, sem_mean, other)
+    wins = sum(
+        1 for d in disciplines
+        if table.cell("SEM", d) == max(table.cell(m, d)
+                                       for m in ("SHPE", "Doc2Vec", "BERT", "SEM"))
+    )
+    assert wins >= 2

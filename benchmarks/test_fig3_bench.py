@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 3 (outlier scatter trends + subspace clustering)."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_fig3(benchmark):
+    tables = benchmark.pedantic(
+        lambda: run_experiment("fig3", scale=0.6, seed=0, n_papers=60),
+        rounds=1, iterations=1,
+    )
+    save_result(tables, "fig3")
+    scatter, clustering = tables
+    # Shape: the majority of (discipline, subspace) trends are positive —
+    # more different papers gather more citations.
+    slopes = scatter.column_values("slope")
+    assert sum(1 for s in slopes if s > 0) >= 6, slopes
+    # Shape: subspaces cluster papers differently (nonzero disagreement
+    # for every subspace pair).
+    for disagreement in clustering.column_values("pair disagreement"):
+        assert disagreement > 0.0

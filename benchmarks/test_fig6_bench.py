@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 6 (patent recommendation, low-resource reuse)."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+METHODS = ("SVD", "WNMF", "NBCF", "MLP", "JTIE", "RippleNet", "NPRec")
+
+
+def test_fig6(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("fig6", scale=1.5, seed=0, n_users=30,
+                               methods=METHODS),
+        rounds=1, iterations=1,
+    )
+    save_result(table, "fig6")
+    values = {row[0]: row[1] for row in table.rows}
+    # Shape: NPRec stays at the top of the lineup in the low-resource
+    # setting (within the top two; the PT margin is compressed to a
+    # statistical tie with the best content baseline — see EXPERIMENTS.md)
+    # and clearly above the method median, confirming reusability.
+    ordered = sorted(values, key=values.get, reverse=True)
+    assert "NPRec" in ordered[:2], values
+    median = sorted(values.values())[len(values) // 2]
+    assert values["NPRec"] > median

@@ -1,0 +1,28 @@
+"""Bench: regenerate Tab. I (difference-citation correlation, Scopus)."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("table1", scale=0.6, seed=0),
+        rounds=1, iterations=1,
+    )
+    save_result(table, "table1")
+    # Shape: the SEM block beats the writing-quality baselines on average.
+    disciplines = table.columns[1:]
+    sem_mean = sum(table.cell(f"SEM-{s}", d) for s in "BMR"
+                   for d in disciplines) / (3 * len(disciplines))
+    text_mean = sum(table.cell(m, d) for m in ("CLT", "CSJ")
+                    for d in disciplines) / (2 * len(disciplines))
+    assert sem_mean > text_mean
+    # Discipline diagonal: each discipline's focus subspace is its best
+    # SEM row (CS -> method, medicine -> result, sociology -> background).
+    assert table.cell("SEM-M", "Computer Science") == max(
+        table.cell(f"SEM-{s}", "Computer Science") for s in "BMR")
+    assert table.cell("SEM-R", "Medicine") == max(
+        table.cell(f"SEM-{s}", "Medicine") for s in "BMR")
+    assert table.cell("SEM-B", "Sociology") == max(
+        table.cell(f"SEM-{s}", "Sociology") for s in "BMR")

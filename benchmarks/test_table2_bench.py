@@ -1,0 +1,25 @@
+"""Bench: regenerate Tab. II (high- vs low-cited subspace outliers, ACM)."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+from repro.experiments.table2 import TABLE2_FIELDS
+
+
+def test_table2(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("table2", scale=0.6, seed=0),
+        rounds=1, iterations=1,
+    )
+    save_result(table, "table2")
+    # Shape: high-cited papers are more different than low-cited papers in
+    # the vast majority of (field x subspace) cells.
+    wins = 0
+    total = 0
+    for row in table.rows:
+        for field in TABLE2_FIELDS:
+            low = table.cell(row[0], f"{field} low")
+            high = table.cell(row[0], f"{field} high")
+            wins += int(high > low)
+            total += 1
+    assert wins / total >= 0.75, f"high>low in only {wins}/{total} cells"

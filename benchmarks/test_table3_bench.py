@@ -1,0 +1,20 @@
+"""Bench: regenerate Tab. III (dataset statistics)."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_table3(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("table3", scale=1.0, seed=0),
+        rounds=1, iterations=1,
+    )
+    save_result(table, "table3")
+    # Shape: feature coverage matches the paper's Tab. III exactly.
+    assert table.cell("pt", "Keywords") == "-"
+    assert table.cell("pt", "Venues") == "-"
+    assert table.cell("pt", "Affiliations") == "-"
+    assert table.cell("scopus", "Affiliations") == "-"
+    assert table.cell("acm", "Affiliations") != "-"
+    assert table.cell("acm", "Paper/patent") > table.cell("pt", "Paper/patent")

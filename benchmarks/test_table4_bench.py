@@ -1,0 +1,27 @@
+"""Bench: regenerate Tab. IV (the headline 9-method recommendation table)."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+
+def test_table4(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("table4", scale=0.6, seed=0,
+                               acm_users=25, scopus_users=20),
+        rounds=1, iterations=1,
+    )
+    save_result(table, "table4")
+    methods = [row[0] for row in table.rows]
+    for corpus in ("ACM", "Scopus"):
+        # Shape 1: NPRec wins the k=20 column.
+        column = f"{corpus} k=20"
+        best = max(methods, key=lambda m: table.cell(m, column))
+        assert best == "NPRec", f"{corpus}: {best} beat NPRec"
+        # Shape 2: nDCG decreases as the candidate pool k grows.
+        for method in ("NPRec", "SVD"):
+            v20 = table.cell(method, f"{corpus} k=20")
+            v50 = table.cell(method, f"{corpus} k=50")
+            assert v20 > v50, (corpus, method, v20, v50)
+    # Shape 3: NPRec beats the plain matrix-factorisation floor clearly.
+    assert table.cell("NPRec", "ACM k=20") > table.cell("SVD", "ACM k=20") + 0.03

@@ -1,0 +1,29 @@
+"""Bench: regenerate Tab. V (representative-paper counts + MRR/MAP)."""
+
+from conftest import save_result
+
+from repro.experiments import run_experiment
+
+METHODS = ("NBCF", "JTIE", "RippleNet", "NPRec")
+
+
+def test_table5(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_experiment("table5", scale=0.6, seed=0, n_users=20,
+                               methods=METHODS),
+        rounds=1, iterations=1,
+    )
+    save_result(table, "table5")
+    # Shape 1: NPRec leads at #rp=5 on ACM.
+    best = max(METHODS, key=lambda m: table.cell(m, "ACM nDCG@20 rp=5"))
+    assert best == "NPRec"
+    # Shape 2: more representative papers never hurt NPRec materially
+    # (at 20-user benchmark scale the rp=3 vs rp=5 gap for baselines is
+    # inside seed noise; the full-scale CLI run shows the paper's trend).
+    assert table.cell("NPRec", "ACM nDCG@20 rp=5") >= \
+        table.cell("NPRec", "ACM nDCG@20 rp=3") - 0.03
+    # Shape 3: NPRec has the best MRR and MAP.
+    assert table.cell("NPRec", "ACM MRR rp=5") == max(
+        table.cell(m, "ACM MRR rp=5") for m in METHODS)
+    assert table.cell("NPRec", "ACM MAP rp=5") == max(
+        table.cell(m, "ACM MAP rp=5") for m in METHODS)

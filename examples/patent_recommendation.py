@@ -1,0 +1,47 @@
+"""Model reusability on low-resource academic data (Sec. IV-I / Fig. 6).
+
+Patents carry only owners, references, and text — no venues, keywords,
+or affiliations. This example mirrors the paper's protocol: preferences
+learned from January-October 2017 filings, citations from November-
+December used for verification.
+
+Run:  python examples/patent_recommendation.py
+"""
+
+from repro.analysis.metrics import ndcg_at_k
+from repro.baselines import SVDRecommender, RippleNetRecommender
+from repro.core.nprec import NPRecConfig, NPRecRecommender
+from repro.data import corpus_statistics, load_patents
+from repro.experiments.protocol import split_task_by_month
+
+
+def main() -> None:
+    corpus = load_patents()
+    stats = corpus_statistics(corpus)
+    print("patent corpus:", stats)
+    print("(note: no keywords, venues, or affiliations — the academic "
+          "network shrinks to patents + owners + time)\n")
+
+    task = split_task_by_month(corpus, 11, n_users=15, candidate_size=20,
+                               min_prefix=20, seed=0)
+    print(f"{len(task.train_papers)} Jan-Oct patents for training, "
+          f"{len(task.new_papers)} Nov-Dec patents as candidates, "
+          f"{len(task.users)} inventors\n")
+
+    for recommender in (SVDRecommender(seed=0), RippleNetRecommender(),
+                        NPRecRecommender(NPRecConfig(seed=0))):
+        recommender.fit(task.corpus, task.train_papers, task.new_papers)
+        scores = []
+        for user in task.users:
+            ranked = recommender.rank(list(user.train_papers),
+                                      user.candidate_set(20))
+            scores.append(ndcg_at_k(ranked, set(user.relevant_ids), 20))
+        print(f"{recommender.name:<12s} nDCG@20 = {sum(scores)/len(scores):.3f}")
+
+    print("\nNPRec keeps working with only ownership + citation structure: "
+          "the text channel and the remaining graph entities carry the "
+          "interest and influence signal (the paper's reusability claim).")
+
+
+if __name__ == "__main__":
+    main()

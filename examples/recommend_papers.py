@@ -1,0 +1,55 @@
+"""Personalized new-paper recommendation: NPRec vs two baselines.
+
+Builds the Sec. IV-E evaluation on an ACM-like corpus, fits NPRec,
+NBCF, and RippleNet, and compares their rankings for a handful of
+researchers — including the per-user hit positions that drive MRR.
+
+Run:  python examples/recommend_papers.py
+"""
+
+from repro.analysis.metrics import ndcg_at_k, reciprocal_rank
+from repro.baselines import NBCFRecommender, RippleNetRecommender
+from repro.core.nprec import NPRecConfig, NPRecRecommender
+from repro.data import load_acm
+from repro.experiments.protocol import split_task_by_year
+
+
+def main() -> None:
+    corpus = load_acm(scale=0.6)
+    task = split_task_by_year(corpus, 2014, n_users=15, candidate_size=20,
+                              min_prefix=20, seed=0)
+    print(f"{len(task.train_papers)} historical papers, "
+          f"{len(task.new_papers)} new papers, {len(task.users)} test users\n")
+
+    recommenders = [
+        NBCFRecommender(),
+        RippleNetRecommender(),
+        NPRecRecommender(NPRecConfig(seed=0)),
+    ]
+    for recommender in recommenders:
+        recommender.fit(task.corpus, task.train_papers, task.new_papers)
+
+    print(f"{'method':<12s} {'nDCG@20':>8s} {'MRR':>8s}")
+    for recommender in recommenders:
+        ndcgs, mrrs = [], []
+        for user in task.users:
+            ranked = recommender.rank(list(user.train_papers),
+                                      user.candidate_set(20))
+            ndcgs.append(ndcg_at_k(ranked, set(user.relevant_ids), 20))
+            mrrs.append(reciprocal_rank(ranked, set(user.relevant_ids)))
+        print(f"{recommender.name:<12s} {sum(ndcgs)/len(ndcgs):8.3f} "
+              f"{sum(mrrs)/len(mrrs):8.3f}")
+
+    # Zoom into one user with the best model (NPRec).
+    nprec = recommenders[-1]
+    user = task.users[0]
+    ranked = nprec.rank(list(user.train_papers), user.candidate_set(20))
+    print(f"\nNPRec ranking for {user.author_id}:")
+    for rank, pid in enumerate(ranked[:8], start=1):
+        paper = task.corpus.get_paper(pid)
+        marker = " <== cited" if pid in user.relevant_ids else ""
+        print(f"  {rank:2d}. {paper.title[:52]}{marker}")
+
+
+if __name__ == "__main__":
+    main()

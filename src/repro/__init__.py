@@ -1,0 +1,65 @@
+"""repro — reproduction of "Subspace Embedding Based New Paper
+Recommendation" (Xie, Li, Sun, Bertino, Gong — ICDE 2022).
+
+Top-level re-exports cover the typical workflow:
+
+>>> from repro import load_scopus, SubspaceEmbeddingMethod, SEMConfig
+>>> corpus = load_scopus(scale=0.5)
+>>> sem = SubspaceEmbeddingMethod(SEMConfig(seed=0))
+>>> sem.fit(corpus.by_field("computer_science"))
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import (
+    ExpertRuleSet,
+    NPRecConfig,
+    NPRecModel,
+    NPRecRecommender,
+    SEMConfig,
+    SubspaceEmbeddingMethod,
+    SubspaceEmbeddingNetwork,
+    TwinNetworkTrainer,
+    annotate_triplets,
+    build_training_pairs,
+)
+from repro.data import (
+    Author,
+    Corpus,
+    Paper,
+    SyntheticCorpusConfig,
+    Venue,
+    corpus_statistics,
+    generate_corpus,
+    load_acm,
+    load_patents,
+    load_pubmed_rct,
+    load_scopus,
+)
+from repro.errors import (
+    ConfigError,
+    ConvergenceError,
+    DataError,
+    GraphError,
+    NotFittedError,
+    ReproError,
+    ShapeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SubspaceEmbeddingMethod", "SEMConfig", "SubspaceEmbeddingNetwork",
+    "TwinNetworkTrainer", "ExpertRuleSet", "annotate_triplets",
+    "NPRecRecommender", "NPRecConfig", "NPRecModel", "build_training_pairs",
+    # data
+    "Paper", "Author", "Venue", "Corpus",
+    "SyntheticCorpusConfig", "generate_corpus", "corpus_statistics",
+    "load_acm", "load_scopus", "load_pubmed_rct", "load_patents",
+    # errors
+    "ReproError", "ConfigError", "ShapeError", "GraphError", "DataError",
+    "NotFittedError", "ConvergenceError",
+]

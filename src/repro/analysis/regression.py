@@ -1,0 +1,41 @@
+"""Simple linear regression — the Fig. 3 trend-line machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept`` plus fit quality."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: "Sequence[float] | float") -> np.ndarray:
+        """Evaluate the fitted line at *x*."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def linear_regression(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares on one predictor."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"length mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    x_mean, y_mean = x.mean(), y.mean()
+    ss_x = ((x - x_mean) ** 2).sum()
+    if ss_x == 0:
+        return LinearFit(0.0, float(y_mean), 0.0)
+    slope = float(((x - x_mean) * (y - y_mean)).sum() / ss_x)
+    intercept = float(y_mean - slope * x_mean)
+    residual = y - (slope * x + intercept)
+    ss_total = ((y - y_mean) ** 2).sum()
+    r_squared = 0.0 if ss_total == 0 else float(1.0 - (residual**2).sum() / ss_total)
+    return LinearFit(slope, intercept, r_squared)

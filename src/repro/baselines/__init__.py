@@ -1,0 +1,44 @@
+"""Every baseline the paper compares against, reimplemented from source.
+
+Quality scorers (Tab. I): CLT, CSJ, HP.
+Document embedders (Fig. 2): SHPE, Doc2Vec, BERT-average.
+Recommenders (Tabs. IV-VI, Fig. 6): SVD, WNMF, NBCF, MLP, JTIE, KGCN,
+KGCN-LS, RippleNet — all sharing the :class:`Recommender` interface with
+NPRec.
+"""
+
+from repro.baselines.base import Recommender
+from repro.baselines.cf import (
+    NBCFRecommender,
+    SVDRecommender,
+    WNMFRecommender,
+    build_interaction_matrix,
+)
+from repro.baselines.content import TfIdfIndex, content_neighbors
+from repro.baselines.embeddings import (
+    BertAverageEmbedder,
+    Doc2VecEmbedder,
+    SHPEEmbedder,
+)
+from repro.baselines.graph_rec import (
+    KGCNLSRecommender,
+    KGCNRecommender,
+    RippleNetRecommender,
+)
+from repro.baselines.neural import (
+    JTIERecommender,
+    MLPRecommender,
+    author_citation_pairs,
+)
+from repro.baselines.quality import CLTScorer, CSJScorer, HPScorer
+
+__all__ = [
+    "Recommender",
+    "CLTScorer", "CSJScorer", "HPScorer",
+    "SHPEEmbedder", "Doc2VecEmbedder", "BertAverageEmbedder",
+    "TfIdfIndex", "content_neighbors",
+    "SVDRecommender", "WNMFRecommender", "NBCFRecommender",
+    "build_interaction_matrix",
+    "MLPRecommender", "JTIERecommender", "author_citation_pairs",
+    "KGCNRecommender", "KGCNLSRecommender", "RippleNetRecommender",
+]

@@ -1,0 +1,39 @@
+"""Common recommender interface shared by NPRec and every baseline.
+
+The evaluation protocol of Sec. IV-E only needs two operations: train on
+the historical slice (with the candidate/new papers visible for metadata
+only — never their citations), and rank a candidate list for one user
+represented by their historical publications.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.data.corpus import Corpus
+from repro.data.schema import Paper
+
+
+class Recommender(ABC):
+    """Abstract recommender: ``fit`` then ``rank``."""
+
+    #: Display name used in experiment tables.
+    name: str = "recommender"
+
+    @abstractmethod
+    def fit(self, corpus: Corpus, train_papers: Sequence[Paper],
+            new_papers: Sequence[Paper] = ()) -> "Recommender":
+        """Train on *train_papers*.
+
+        *new_papers* are the candidate papers of the test period: models
+        may read their **content and metadata** (title, abstract,
+        keywords, authors, venue) — that is exactly what exists for a
+        newly published paper — but must never read their citations.
+        """
+
+    @abstractmethod
+    def rank(self, user_papers: Sequence[Paper],
+             candidates: Sequence[Paper]) -> list[str]:
+        """Order candidate ids, most recommended first, for a user whose
+        interests are represented by *user_papers*."""

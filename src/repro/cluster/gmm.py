@@ -1,0 +1,165 @@
+"""Gaussian mixture models with BIC-based model selection.
+
+The paper clusters subspace embeddings with Gaussian mixtures, choosing
+the number of components by the Bayesian information criterion [31]
+(mclust-style). :class:`GaussianMixture` is a diagonal-covariance EM
+implementation; :func:`select_components_bic` sweeps component counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.errors import NotFittedError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class GaussianMixture:
+    """Diagonal-covariance Gaussian mixture fitted by EM.
+
+    Parameters
+    ----------
+    n_components:
+        Number of Gaussians.
+    max_iter, tol:
+        EM stopping criteria (log-likelihood improvement threshold).
+    reg_covar:
+        Variance floor keeping components from collapsing onto points.
+    seed:
+        Randomness for the k-means initialisation.
+    """
+
+    def __init__(self, n_components: int, max_iter: int = 100, tol: float = 1e-4,
+                 reg_covar: float = 1e-6, seed: int | np.random.Generator | None = 0) -> None:
+        check_positive("n_components", n_components)
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reg_covar = reg_covar
+        self._seed = seed
+        self.weights_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.log_likelihood_: float | None = None
+        self.n_iter_: int | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        """Run EM on *data* of shape ``(n, d)``."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"expected 2-D data, got shape {data.shape}")
+        n, d = data.shape
+        if n < self.n_components:
+            raise ValueError(
+                f"need at least n_components={self.n_components} points, got {n}"
+            )
+        rng = as_generator(self._seed)
+        km = KMeans(self.n_components, seed=rng).fit(data)
+        means = km.centers_.copy()
+        variances = np.full((self.n_components, d), data.var(axis=0) + self.reg_covar)
+        weights = np.bincount(km.labels_, minlength=self.n_components).astype(float)
+        weights = np.maximum(weights, 1.0)
+        weights /= weights.sum()
+
+        previous = -np.inf
+        for iteration in range(self.max_iter):
+            log_resp, log_likelihood = self._e_step(data, weights, means, variances)
+            resp = np.exp(log_resp)
+            # M-step
+            totals = resp.sum(axis=0) + 1e-12
+            weights = totals / n
+            means = (resp.T @ data) / totals[:, None]
+            for j in range(self.n_components):
+                diff = data - means[j]
+                variances[j] = (resp[:, j][:, None] * diff**2).sum(axis=0) / totals[j]
+            variances = np.maximum(variances, self.reg_covar)
+            if abs(log_likelihood - previous) < self.tol:
+                previous = log_likelihood
+                break
+            previous = log_likelihood
+        self.weights_, self.means_, self.variances_ = weights, means, variances
+        self.log_likelihood_ = float(previous)
+        self.n_iter_ = iteration + 1
+        return self
+
+    def _e_step(self, data, weights, means, variances):
+        log_prob = self._log_prob(data, means, variances) + np.log(weights)[None, :]
+        norm = _logsumexp(log_prob, axis=1)
+        return log_prob - norm[:, None], float(norm.sum())
+
+    @staticmethod
+    def _log_prob(data: np.ndarray, means: np.ndarray, variances: np.ndarray) -> np.ndarray:
+        n, d = data.shape
+        k = means.shape[0]
+        out = np.empty((n, k))
+        for j in range(k):
+            diff = data - means[j]
+            out[:, j] = -0.5 * (
+                d * _LOG_2PI + np.log(variances[j]).sum()
+                + (diff**2 / variances[j]).sum(axis=1)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.means_ is None:
+            raise NotFittedError("GaussianMixture.fit must be called first")
+
+    def predict_proba(self, data: np.ndarray) -> np.ndarray:
+        """Posterior responsibilities, shape ``(n, n_components)``."""
+        self._require_fitted()
+        data = np.asarray(data, dtype=np.float64)
+        log_resp, _ = self._e_step(data, self.weights_, self.means_, self.variances_)
+        return np.exp(log_resp)
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Hard component assignments."""
+        return self.predict_proba(data).argmax(axis=1)
+
+    def score(self, data: np.ndarray) -> float:
+        """Total log-likelihood of *data* under the fitted mixture."""
+        self._require_fitted()
+        data = np.asarray(data, dtype=np.float64)
+        _, ll = self._e_step(data, self.weights_, self.means_, self.variances_)
+        return ll
+
+    def bic(self, data: np.ndarray) -> float:
+        """Bayesian information criterion (lower is better)."""
+        data = np.asarray(data, dtype=np.float64)
+        n, d = data.shape
+        # weights (k-1) + means (k*d) + diagonal variances (k*d)
+        n_params = (self.n_components - 1) + 2 * self.n_components * d
+        return -2.0 * self.score(data) + n_params * np.log(n)
+
+
+def _logsumexp(a: np.ndarray, axis: int) -> np.ndarray:
+    peak = a.max(axis=axis, keepdims=True)
+    return (peak + np.log(np.exp(a - peak).sum(axis=axis, keepdims=True))).squeeze(axis)
+
+
+def select_components_bic(data: np.ndarray, max_components: int = 8,
+                          seed: int | np.random.Generator | None = 0) -> GaussianMixture:
+    """Fit mixtures with 1..max_components and return the lowest-BIC one.
+
+    Component counts exceeding the sample size are skipped automatically.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    check_positive("max_components", max_components)
+    rng = as_generator(seed)
+    best: GaussianMixture | None = None
+    best_bic = np.inf
+    for k in range(1, max_components + 1):
+        if k > data.shape[0]:
+            break
+        model = GaussianMixture(k, seed=rng.spawn(1)[0]).fit(data)
+        bic = model.bic(data)
+        if bic < best_bic:
+            best, best_bic = model, bic
+    if best is None:
+        raise ValueError("no mixture could be fitted (empty data?)")
+    return best

@@ -1,0 +1,93 @@
+"""K-means clustering (used to initialise Gaussian mixtures)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+def kmeans_plus_plus(data: np.ndarray, k: int,
+                     rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """k-means++ seeding: spread initial centres by D^2 sampling."""
+    rng = as_generator(rng)
+    n = data.shape[0]
+    centres = [data[int(rng.integers(n))]]
+    for _ in range(1, k):
+        distances = np.min(
+            [np.sum((data - centre) ** 2, axis=1) for centre in centres], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:  # all points identical / already covered
+            centres.append(data[int(rng.integers(n))])
+            continue
+        centres.append(data[int(rng.choice(n, p=distances / total))])
+    return np.stack(centres)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ init.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids.
+    max_iter:
+        Iteration budget.
+    tol:
+        Stop when centroid movement falls below this threshold.
+    seed:
+        Seeding randomness.
+    """
+
+    def __init__(self, n_clusters: int, max_iter: int = 100, tol: float = 1e-6,
+                 seed: int | np.random.Generator | None = 0) -> None:
+        check_positive("n_clusters", n_clusters)
+        check_positive("max_iter", max_iter)
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self._seed = seed
+        self.centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Cluster *data* of shape ``(n, d)``."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"expected 2-D data, got shape {data.shape}")
+        if data.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} points, got {data.shape[0]}"
+            )
+        rng = as_generator(self._seed)
+        centres = kmeans_plus_plus(data, self.n_clusters, rng)
+        labels = np.zeros(data.shape[0], dtype=int)
+        for _ in range(self.max_iter):
+            distances = ((data[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2)
+            labels = distances.argmin(axis=1)
+            new_centres = centres.copy()
+            for j in range(self.n_clusters):
+                members = data[labels == j]
+                if len(members):
+                    new_centres[j] = members.mean(axis=0)
+                else:  # re-seed an empty cluster at the farthest point
+                    new_centres[j] = data[int(distances.min(axis=1).argmax())]
+            shift = float(np.abs(new_centres - centres).max())
+            centres = new_centres
+            if shift < self.tol:
+                break
+        self.centers_ = centres
+        self.labels_ = labels
+        self.inertia_ = float(((data - centres[labels]) ** 2).sum())
+        return self
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Assign each row of *data* to its nearest centre."""
+        if self.centers_ is None:
+            raise RuntimeError("KMeans.fit must be called before predict()")
+        data = np.asarray(data, dtype=np.float64)
+        distances = ((data[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)

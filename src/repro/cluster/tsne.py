@@ -1,0 +1,91 @@
+"""Exact-gradient t-SNE (van der Maaten & Hinton, 2008) [50].
+
+Only used for 2-D visualisation coordinates (Figs. 3 and 5); the small
+per-experiment sample sizes make the O(n^2) exact gradient plenty fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+def _conditional_probabilities(distances: np.ndarray, perplexity: float) -> np.ndarray:
+    """Binary-search per-point bandwidths to hit the target perplexity."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        beta_lo, beta_hi = 1e-20, 1e20
+        beta = 1.0
+        row = distances[i].copy()
+        row[i] = np.inf
+        for _ in range(64):
+            exp_row = np.exp(-row * beta)
+            total = exp_row.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            p = exp_row / total
+            entropy = -np.sum(p[p > 0] * np.log(p[p > 0]))
+            if abs(entropy - target_entropy) < 1e-5:
+                break
+            if entropy > target_entropy:
+                beta_lo = beta
+                beta = beta * 2 if beta_hi >= 1e20 else (beta + beta_hi) / 2
+            else:
+                beta_hi = beta
+                beta = beta / 2 if beta_lo <= 1e-20 else (beta + beta_lo) / 2
+        probabilities[i] = exp_row / max(total, 1e-12)
+        probabilities[i, i] = 0.0
+    return probabilities
+
+
+def tsne(data: np.ndarray, n_components: int = 2, perplexity: float = 15.0,
+         n_iter: int = 300, learning_rate: float = 100.0,
+         seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Embed *data* ``(n, d)`` into ``(n, n_components)`` with t-SNE.
+
+    Standard recipe: symmetrised conditional probabilities with early
+    exaggeration for the first quarter of the iterations, Student-t
+    low-dimensional kernel, momentum gradient descent.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected 2-D data, got shape {data.shape}")
+    n = data.shape[0]
+    check_positive("perplexity", perplexity)
+    check_positive("n_iter", n_iter)
+    if n < 3:
+        raise ValueError("t-SNE requires at least three points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    squared = (data**2).sum(axis=1)
+    d2 = np.maximum(squared[:, None] + squared[None, :] - 2.0 * data @ data.T, 0.0)
+    p_conditional = _conditional_probabilities(d2, perplexity)
+    p_joint = (p_conditional + p_conditional.T) / (2.0 * n)
+    p_joint = np.maximum(p_joint, 1e-12)
+
+    rng = as_generator(seed)
+    embedding = rng.normal(0.0, 1e-4, size=(n, n_components))
+    velocity = np.zeros_like(embedding)
+    exaggeration_end = max(1, n_iter // 4)
+    for iteration in range(n_iter):
+        exaggeration = 4.0 if iteration < exaggeration_end else 1.0
+        momentum = 0.5 if iteration < exaggeration_end else 0.8
+
+        sq = (embedding**2).sum(axis=1)
+        num = 1.0 / (1.0 + np.maximum(
+            sq[:, None] + sq[None, :] - 2.0 * embedding @ embedding.T, 0.0))
+        np.fill_diagonal(num, 0.0)
+        q_joint = np.maximum(num / num.sum(), 1e-12)
+
+        coefficient = (exaggeration * p_joint - q_joint) * num
+        gradient = 4.0 * ((np.diag(coefficient.sum(axis=1)) - coefficient) @ embedding)
+
+        velocity = momentum * velocity - learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+    return embedding

@@ -1,0 +1,47 @@
+"""The paper's core contribution: SEM subspace embeddings + NPRec.
+
+Sec. III: expert rules, triplet annotation, the subspace fusion network,
+twin-network contrastive training, and the SEM difference-analysis API.
+Sec. IV: the asymmetric heterogeneous GCN recommender (NPRec) with the
+de-fuzzing sample strategy.
+"""
+
+from repro.core.annotation import Triplet, annotate_triplets
+from repro.core.nprec import (
+    NPRecConfig,
+    NPRecModel,
+    NPRecRecommender,
+    NPRecTrainer,
+    TrainingPair,
+    build_training_pairs,
+)
+from repro.core.rules import (
+    RULE_NAMES,
+    AbstractSubspaceRule,
+    ExpertRuleSet,
+    RuleScores,
+    classification_difference,
+    keyword_difference,
+    reference_difference,
+    subspace_centroids,
+)
+from repro.core.sem import SEMConfig, SubspaceEmbeddingMethod
+from repro.core.subspace_model import SubspaceEmbeddingNetwork
+from repro.core.twin import (
+    DISTANCE_FUNCTIONS,
+    TrainHistory,
+    TwinNetworkTrainer,
+    pair_distance,
+)
+
+__all__ = [
+    "classification_difference", "reference_difference", "keyword_difference",
+    "subspace_centroids", "AbstractSubspaceRule", "ExpertRuleSet",
+    "RuleScores", "RULE_NAMES",
+    "Triplet", "annotate_triplets",
+    "SubspaceEmbeddingNetwork",
+    "TwinNetworkTrainer", "TrainHistory", "pair_distance", "DISTANCE_FUNCTIONS",
+    "SEMConfig", "SubspaceEmbeddingMethod",
+    "NPRecModel", "NPRecTrainer", "NPRecConfig", "NPRecRecommender",
+    "TrainingPair", "build_training_pairs",
+]

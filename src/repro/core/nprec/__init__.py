@@ -1,0 +1,19 @@
+"""NPRec: new-paper recommendation over the academic network (Sec. IV)."""
+
+from repro.core.nprec.model import NPRecModel
+from repro.core.nprec.recommend import NPRecConfig, NPRecRecommender
+from repro.core.nprec.sampling import (
+    TrainingPair,
+    build_training_pairs,
+    citation_positives,
+    defuzzed_negatives,
+    random_negatives,
+)
+from repro.core.nprec.trainer import NPRecTrainer, NPRecTrainHistory
+
+__all__ = [
+    "NPRecModel", "NPRecTrainer", "NPRecTrainHistory",
+    "NPRecConfig", "NPRecRecommender",
+    "TrainingPair", "build_training_pairs", "citation_positives",
+    "random_negatives", "defuzzed_negatives",
+]

@@ -1,0 +1,145 @@
+"""Training-pair sampling strategies (Sec. IV-C).
+
+Positives are always citation pairs. The paper's **de-fuzzing** strategy
+filters negatives: a non-cited pair (p, q) only becomes a negative sample
+when the fused expert-rule difference exceeds a threshold in *every*
+subspace — pairs that look related under any subspace are ambiguous
+("fuzzy") and are excluded rather than mislabelled. The classical
+citation-only strategy (negatives drawn uniformly from non-cited pairs)
+is provided for the NPRec+CN ablation and the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rules import ExpertRuleSet
+from repro.data.schema import Paper
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class TrainingPair:
+    """One supervised pair: label 1 for cited, 0 for a confident negative."""
+
+    citing: str
+    cited: str
+    label: float
+
+
+def citation_positives(papers: Sequence[Paper]) -> list[TrainingPair]:
+    """All in-set citation pairs as positive samples (y(p, q) = 1)."""
+    included = {p.id for p in papers}
+    pairs = [TrainingPair(p.id, ref, 1.0)
+             for p in papers for ref in p.references if ref in included]
+    return pairs
+
+
+def random_negatives(papers: Sequence[Paper], n_negatives: int,
+                     seed: int | np.random.Generator | None = 0) -> list[TrainingPair]:
+    """Uniform non-cited negatives — the conventional labelling (CN)."""
+    papers = list(papers)
+    if len(papers) < 2:
+        raise ValueError("need at least two papers to sample negatives")
+    if n_negatives < 0:
+        raise ValueError(f"n_negatives must be >= 0, got {n_negatives}")
+    rng = as_generator(seed)
+    cited_by = {p.id: set(p.references) for p in papers}
+    negatives: list[TrainingPair] = []
+    attempts = 0
+    while len(negatives) < n_negatives and attempts < n_negatives * 30 + 100:
+        attempts += 1
+        i, j = rng.choice(len(papers), size=2, replace=False)
+        citing, cited = papers[i], papers[j]
+        if cited.id in cited_by[citing.id]:
+            continue
+        negatives.append(TrainingPair(citing.id, cited.id, 0.0))
+    return negatives
+
+
+def defuzzed_negatives(papers: Sequence[Paper], rules: ExpertRuleSet,
+                       n_negatives: int, threshold_quantile: float = 0.55,
+                       seed: int | np.random.Generator | None = 0) -> list[TrainingPair]:
+    """Expert-rule-filtered negatives (the paper's de-fuzzing strategy).
+
+    A candidate non-cited pair is accepted only when its fused difference
+    exceeds the corpus threshold in **all** subspaces. The threshold is
+    the ``threshold_quantile`` quantile of fused scores over a calibration
+    sample of random pairs, so it adapts to each corpus.
+    """
+    papers = list(papers)
+    if len(papers) < 2:
+        raise ValueError("need at least two papers to sample negatives")
+    if not 0.0 < threshold_quantile < 1.0:
+        raise ValueError(
+            f"threshold_quantile must be in (0, 1), got {threshold_quantile}"
+        )
+    rng = as_generator(seed)
+
+    # Calibrate the per-subspace thresholds.
+    calibration = []
+    for _ in range(80):
+        i, j = rng.choice(len(papers), size=2, replace=False)
+        calibration.append(rules.fused_scores(papers[i], papers[j]))
+    thresholds = np.quantile(np.asarray(calibration), threshold_quantile, axis=0)
+
+    cited_by = {p.id: set(p.references) for p in papers}
+    negatives: list[TrainingPair] = []
+    attempts = 0
+    max_attempts = n_negatives * 40 + 200
+    while len(negatives) < n_negatives and attempts < max_attempts:
+        attempts += 1
+        i, j = rng.choice(len(papers), size=2, replace=False)
+        citing, cited = papers[i], papers[j]
+        if cited.id in cited_by[citing.id]:
+            continue
+        scores = rules.fused_scores(citing, cited)
+        if np.all(scores > thresholds):
+            negatives.append(TrainingPair(citing.id, cited.id, 0.0))
+    return negatives
+
+
+def build_training_pairs(papers: Sequence[Paper], rules: ExpertRuleSet | None = None,
+                         negative_ratio: int = 10, strategy: str = "defuzz",
+                         max_positives: int | None = None,
+                         threshold_quantile: float = 0.55,
+                         seed: int | np.random.Generator | None = 0) -> list[TrainingPair]:
+    """Full training set: citation positives + strategy-chosen negatives.
+
+    Parameters
+    ----------
+    papers:
+        Training (historical) papers.
+    rules:
+        Fitted expert rules; required for the ``"defuzz"`` strategy.
+    negative_ratio:
+        Negatives per positive (1, 10, 50 in Tab. VI).
+    strategy:
+        ``"defuzz"`` (paper) or ``"citation"`` (conventional, CN ablation).
+    max_positives:
+        Optional cap to bound training cost on large corpora.
+    """
+    if strategy not in ("defuzz", "citation"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if negative_ratio < 0:
+        raise ValueError(f"negative_ratio must be >= 0, got {negative_ratio}")
+    rng = as_generator(seed)
+    positives = citation_positives(papers)
+    if not positives:
+        raise ValueError("no citation pairs found among the given papers")
+    if max_positives is not None and len(positives) > max_positives:
+        picked = rng.choice(len(positives), size=max_positives, replace=False)
+        positives = [positives[i] for i in picked]
+    n_negatives = negative_ratio * len(positives)
+    if strategy == "defuzz":
+        if rules is None:
+            raise ValueError("defuzz strategy requires a fitted ExpertRuleSet")
+        negatives = defuzzed_negatives(papers, rules, n_negatives,
+                                       threshold_quantile=threshold_quantile,
+                                       seed=rng)
+    else:
+        negatives = random_negatives(papers, n_negatives, seed=rng)
+    return positives + negatives

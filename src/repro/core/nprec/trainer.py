@@ -1,0 +1,71 @@
+"""Training loop for :class:`~repro.core.nprec.model.NPRecModel` (Eq. 23)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.nprec.model import NPRecModel
+from repro.core.nprec.sampling import TrainingPair
+from repro.nn import Adam, binary_cross_entropy_with_logits, l2_regularization
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class NPRecTrainHistory:
+    """Per-epoch loss/accuracy of the pair classifier."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+
+class NPRecTrainer:
+    """Optimises the pair-correlation objective of Eq. 23.
+
+    Cross-entropy over positive/negative pairs plus L2 regularisation,
+    mini-batched Adam.
+    """
+
+    def __init__(self, model: NPRecModel, lr: float = 5e-3, reg: float = 1e-6,
+                 epochs: int = 3, batch_size: int = 64,
+                 seed: int | np.random.Generator | None = 0) -> None:
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        self.model = model
+        self.reg = reg
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self._seed = seed
+        self.optimizer = Adam(model.parameters(), lr=lr)
+
+    def train(self, pairs: Sequence[TrainingPair]) -> NPRecTrainHistory:
+        """Fit on *pairs*; returns per-epoch diagnostics."""
+        pairs = list(pairs)
+        if not pairs:
+            raise ValueError("no training pairs")
+        rng = as_generator(self._seed)
+        history = NPRecTrainHistory()
+        order = np.arange(len(pairs))
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, len(order), self.batch_size):
+                batch = [pairs[i] for i in order[start:start + self.batch_size]]
+                citing = [p.citing for p in batch]
+                cited = [p.cited for p in batch]
+                labels = np.array([p.label for p in batch])
+                self.optimizer.zero_grad()
+                logits = self.model.score_pairs(citing, cited)
+                loss = binary_cross_entropy_with_logits(logits, labels)
+                if self.reg > 0:
+                    loss = loss + l2_regularization(self.optimizer.params, self.reg)
+                loss.backward()
+                self.optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+                correct += int((((logits.data > 0).astype(float)) == labels).sum())
+            history.losses.append(epoch_loss / len(pairs))
+            history.accuracies.append(correct / len(pairs))
+        return history

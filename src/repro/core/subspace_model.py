@@ -1,0 +1,135 @@
+"""The subspace fusion embedding network (Sec. III-B, Eqs. 5-12).
+
+Pipeline for one paper:
+
+1. sentence vectors ``H`` from the frozen encoder, with per-sentence
+   function labels ``l``;
+2. subspace masking (Eq. 5-6): ``x_i^k = h_i * I(l_i = k)``;
+3. a shared multi-layer perceptron with tanh activations (Eqs. 7-8);
+4. global-attention pooling per subspace with a per-subspace query vector
+   ``m^k`` and shared projection ``M, b`` (Eq. 9) giving ``c_hat_k``;
+5. cross-subspace attention context ``c_tilde_k`` (Eqs. 10-11);
+6. concatenated output ``c_k = [c_hat_k ; c_tilde_k]`` (Eq. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn import (
+    MLP,
+    Linear,
+    Module,
+    Tensor,
+    concat,
+    cross_subspace_attention,
+    softmax,
+)
+from repro.nn import init as initializers
+from repro.nn.tensor import parameter
+from repro.utils.rng import as_generator
+
+
+class SubspaceEmbeddingNetwork(Module):
+    """Maps (sentence matrix, labels) to K subspace embedding tensors.
+
+    Parameters
+    ----------
+    in_dim:
+        Sentence-vector dimensionality of the frozen encoder.
+    hidden_dims:
+        Widths of the shared MLP (Eqs. 7-8).
+    out_dim:
+        Subspace vector width before context concatenation; the final
+        embeddings have ``2 * out_dim`` entries (Eq. 12).
+    num_subspaces:
+        K (3 in the paper: background / method / result).
+    """
+
+    def __init__(self, in_dim: int, hidden_dims: Sequence[int] = (64,),
+                 out_dim: int = 32, num_subspaces: int = 3,
+                 context_weight: float = 0.5,
+                 rng: np.random.Generator | int | None = 0) -> None:
+        if num_subspaces < 1:
+            raise ValueError(f"num_subspaces must be >= 1, got {num_subspaces}")
+        if context_weight < 0:
+            raise ValueError(f"context_weight must be >= 0, got {context_weight}")
+        generator = as_generator(rng)
+        self.num_subspaces = num_subspaces
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.context_weight = context_weight
+        self.mlp = MLP([in_dim, *hidden_dims], activation="tanh", rng=generator)
+        self.proj = Linear(hidden_dims[-1], out_dim, rng=generator)  # M, b of Eq. 9
+        # Residual skip from the raw subspace centroid: preserves the
+        # pretrained encoder geometry at initialisation so fine-tuning
+        # refines rather than replaces it (the twin network's role in
+        # Sec. III-B is explicitly *fine-tuning*).
+        self.skip = Linear(in_dim, out_dim, bias=False, rng=generator)
+        self.queries = [
+            parameter(initializers.normal((out_dim,), std=0.1, rng=generator),
+                      name=f"m_{k}")
+            for k in range(num_subspaces)
+        ]
+
+    @property
+    def embedding_dim(self) -> int:
+        """Width of each final subspace embedding, ``2 * out_dim``."""
+        return 2 * self.out_dim
+
+    def forward(self, sentence_vectors: np.ndarray,
+                labels: Sequence[int]) -> list[Tensor]:
+        """Embed one paper; returns K tensors of shape ``(2 * out_dim,)``."""
+        sentence_vectors = np.asarray(sentence_vectors, dtype=np.float64)
+        labels = np.asarray(labels, dtype=int)
+        if sentence_vectors.ndim != 2:
+            raise ValueError(
+                f"expected (n_sentences, dim) matrix, got shape {sentence_vectors.shape}"
+            )
+        if sentence_vectors.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"{sentence_vectors.shape[0]} sentences but {labels.shape[0]} labels"
+            )
+        if sentence_vectors.shape[0] == 0:
+            # A paper with no abstract embeds as zeros in every subspace.
+            zero = Tensor(np.zeros(self.embedding_dim))
+            return [zero for _ in range(self.num_subspaces)]
+
+        # Stack the K masked copies into one matrix so the shared MLP and
+        # projection run once (Eqs. 5-8); then pool each segment (Eq. 9).
+        n = sentence_vectors.shape[0]
+        masks = [(labels == k).astype(np.float64) for k in range(self.num_subspaces)]
+        masked_rows = np.concatenate([
+            sentence_vectors * mask[:, None] for mask in masks
+        ])                                                   # (K*n, in_dim)
+        hidden = self.mlp(Tensor(masked_rows))               # Eqs. 7-8
+        transformed = self.proj(hidden).tanh()               # tanh(M h + b)
+        pooled: list[Tensor] = []
+        for k in range(self.num_subspaces):
+            segment = transformed[k * n:(k + 1) * n]
+            scores = segment @ self.queries[k]               # m^k scoring (Eq. 9)
+            # Masked softmax: only sentences belonging to subspace k
+            # compete for attention; other rows are excluded.
+            if masks[k].any():
+                bias = np.where(masks[k] > 0, 0.0, -1e9)
+                weights = softmax(scores + Tensor(bias), axis=-1)
+                attended = weights @ segment
+                centroid = masks[k] / masks[k].sum()
+                residual = self.skip(Tensor(centroid) @ Tensor(sentence_vectors))
+                pooled.append(attended + residual)           # c_hat_k + skip
+            else:
+                pooled.append((segment * 0.0).sum(axis=0))   # empty subspace
+        # Eqs. 10-12: cross-subspace attention context, scaled by
+        # context_weight so the own-subspace component dominates distances
+        # (context_weight=1.0 recovers the plain concatenation).
+        contexts = cross_subspace_attention(pooled)
+        return [
+            concat([own, ctx * self.context_weight], axis=0)
+            for own, ctx in zip(pooled, contexts)
+        ]
+
+    def embed(self, sentence_vectors: np.ndarray, labels: Sequence[int]) -> np.ndarray:
+        """Inference-time embedding: ``(K, 2 * out_dim)`` ndarray."""
+        return np.stack([t.data for t in self.forward(sentence_vectors, labels)])

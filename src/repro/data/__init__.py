@@ -1,0 +1,46 @@
+"""Scholarly data substrate: schema, taxonomy, corpus, synthetic generators."""
+
+from repro.data.corpus import Corpus
+from repro.data.io import (
+    corpus_from_dict,
+    corpus_to_dict,
+    load_corpus,
+    save_corpus,
+)
+from repro.data.loaders import (
+    ACM_CONFIG,
+    PT_CONFIG,
+    PUBMED_CONFIG,
+    SCOPUS_CONFIG,
+    corpus_statistics,
+    load_acm,
+    load_patents,
+    load_pubmed_rct,
+    load_scopus,
+)
+from repro.data.schema import Author, Paper, Venue
+from repro.data.synthetic import (
+    DEFAULT_PROFILE,
+    DISCIPLINE_PROFILES,
+    SyntheticCorpusConfig,
+    generate_corpus,
+)
+from repro.data.taxonomy import (
+    ACM_CCS_TOP_LEVEL,
+    CategoryNode,
+    ClassificationTree,
+    acm_ccs_like,
+    discipline_tree,
+)
+
+__all__ = [
+    "Paper", "Author", "Venue", "Corpus",
+    "ClassificationTree", "CategoryNode", "acm_ccs_like", "discipline_tree",
+    "ACM_CCS_TOP_LEVEL",
+    "SyntheticCorpusConfig", "generate_corpus",
+    "DISCIPLINE_PROFILES", "DEFAULT_PROFILE",
+    "load_acm", "load_scopus", "load_pubmed_rct", "load_patents",
+    "corpus_statistics",
+    "save_corpus", "load_corpus", "corpus_to_dict", "corpus_from_dict",
+    "ACM_CONFIG", "SCOPUS_CONFIG", "PUBMED_CONFIG", "PT_CONFIG",
+]

@@ -1,0 +1,79 @@
+"""Corpus persistence: JSON round-trips for generated corpora.
+
+Generated corpora are cheap to regenerate, but persisting them makes
+experiment artefacts shareable and lets downstream users load real data
+dumped into the same schema from their own sources.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.data.corpus import Corpus
+from repro.data.schema import Author, Paper, Venue
+
+
+def corpus_to_dict(corpus: Corpus) -> dict:
+    """Plain-dict representation of a corpus (taxonomy is not included —
+    it is a generator artefact; category paths live on the papers)."""
+    return {
+        "name": corpus.name,
+        "papers": [
+            {
+                "id": p.id, "title": p.title, "abstract": p.abstract,
+                "year": p.year, "month": p.month, "field": p.field,
+                "category_path": list(p.category_path),
+                "keywords": list(p.keywords),
+                "references": list(p.references),
+                "authors": list(p.authors),
+                "venue": p.venue,
+                "citation_count": p.citation_count,
+                "sentence_labels": list(p.sentence_labels),
+            }
+            for p in corpus.papers
+        ],
+        "authors": [
+            {"id": a.id, "name": a.name, "affiliation": a.affiliation}
+            for a in corpus.authors
+        ],
+        "venues": [
+            {"id": v.id, "name": v.name, "field": v.field}
+            for v in corpus.venues
+        ],
+    }
+
+
+def corpus_from_dict(payload: dict, strict: bool = True) -> Corpus:
+    """Inverse of :func:`corpus_to_dict`."""
+    papers = [
+        Paper(
+            id=entry["id"], title=entry["title"], abstract=entry["abstract"],
+            year=entry["year"], month=entry.get("month"), field=entry["field"],
+            category_path=tuple(entry.get("category_path", ())),
+            keywords=tuple(entry.get("keywords", ())),
+            references=tuple(entry.get("references", ())),
+            authors=tuple(entry.get("authors", ())),
+            venue=entry.get("venue"),
+            citation_count=entry.get("citation_count", 0),
+            sentence_labels=tuple(entry.get("sentence_labels", ())),
+        )
+        for entry in payload["papers"]
+    ]
+    authors = [Author(**entry) for entry in payload.get("authors", [])]
+    venues = [Venue(**entry) for entry in payload.get("venues", [])]
+    return Corpus(payload["name"], papers, authors=authors, venues=venues,
+                  strict=strict)
+
+
+def save_corpus(corpus: Corpus, path: str | os.PathLike) -> None:
+    """Write *corpus* to a JSON file."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(corpus_to_dict(corpus), handle)
+
+
+def load_corpus(path: str | os.PathLike, strict: bool = True) -> Corpus:
+    """Read a corpus previously written by :func:`save_corpus` (or dumped
+    into the same schema from external data)."""
+    with open(os.fspath(path), encoding="utf-8") as handle:
+        return corpus_from_dict(json.load(handle), strict=strict)

@@ -1,0 +1,151 @@
+"""Hierarchical classification system (HCS) — an ACM-CCS-like category tree.
+
+Expert rule f_c (paper Eq. 1) measures the difference of two papers as a
+level-weighted edit distance between their root-paths in the tree. This
+module supplies the tree structure: named nodes with parent links and
+levels, root-path extraction, and deterministic synthetic tree factories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class CategoryNode:
+    """One node of the classification tree."""
+
+    name: str
+    parent: str | None
+    level: int  # root has level 0
+
+
+class ClassificationTree:
+    """A rooted tree of category tags with level-indexed weights.
+
+    Nodes are identified by unique string names. The root is created
+    automatically as ``"root"`` at level 0.
+    """
+
+    ROOT = "root"
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, CategoryNode] = {
+            self.ROOT: CategoryNode(self.ROOT, None, 0)
+        }
+        self._children: dict[str, list[str]] = {self.ROOT: []}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, name: str, parent: str = ROOT) -> None:
+        """Insert a category *name* under *parent*."""
+        if not name or name == self.ROOT:
+            raise ValueError(f"invalid category name {name!r}")
+        if name in self._nodes:
+            raise DataError(f"duplicate category {name!r}")
+        parent_node = self._nodes.get(parent)
+        if parent_node is None:
+            raise DataError(f"unknown parent category {parent!r}")
+        self._nodes[name] = CategoryNode(name, parent, parent_node.level + 1)
+        self._children[name] = []
+        self._children[parent].append(name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def level(self, name: str) -> int:
+        """Depth of *name* (root = 0)."""
+        return self._require(name).level
+
+    def children(self, name: str) -> tuple[str, ...]:
+        """Immediate children of *name*."""
+        self._require(name)
+        return tuple(self._children[name])
+
+    def leaves(self) -> tuple[str, ...]:
+        """All leaf categories, in insertion order."""
+        return tuple(name for name, kids in self._children.items()
+                     if not kids and name != self.ROOT)
+
+    def path_to_root(self, name: str) -> tuple[str, ...]:
+        """Tags on the path root -> *name*, excluding the root itself.
+
+        This is the paper's ``r_p`` set for a paper tagged *name*.
+        """
+        node = self._require(name)
+        path: list[str] = []
+        while node.parent is not None:
+            path.append(node.name)
+            node = self._nodes[node.parent]
+        return tuple(reversed(path))
+
+    def depth(self) -> int:
+        """Maximum node level."""
+        return max(node.level for node in self._nodes.values())
+
+    def _require(self, name: str) -> CategoryNode:
+        node = self._nodes.get(name)
+        if node is None:
+            raise DataError(f"unknown category {name!r}")
+        return node
+
+
+#: Top-level ACM-CCS-style research areas used by the experiments
+#: (Tables II and the Fig. 3 clustering study name four of them).
+ACM_CCS_TOP_LEVEL = (
+    "Information Systems",
+    "Theory of Computation",
+    "General Literature",
+    "Hardware",
+    "Software",
+    "Computing Methodologies",
+)
+
+
+def acm_ccs_like(areas_per_top: int = 3, topics_per_area: int = 4,
+                 seed: int | None = 0) -> ClassificationTree:
+    """Build a three-level ACM-CCS-like tree.
+
+    Level 1: the :data:`ACM_CCS_TOP_LEVEL` research areas.
+    Level 2: ``areas_per_top`` sub-areas each.
+    Level 3: ``topics_per_area`` topics per sub-area (the paper leaves).
+    """
+    if areas_per_top < 1 or topics_per_area < 1:
+        raise ValueError("areas_per_top and topics_per_area must be >= 1")
+    rng = as_generator(seed)
+    tree = ClassificationTree()
+    for top in ACM_CCS_TOP_LEVEL:
+        tree.add(top)
+        for a in range(areas_per_top):
+            area = f"{top} / Area {a + 1}"
+            tree.add(area, parent=top)
+            for t in range(topics_per_area):
+                # The trailing random suffix makes leaves look like real
+                # topic codes and keeps names unique across regenerations.
+                suffix = int(rng.integers(100, 999))
+                tree.add(f"{area} / Topic {t + 1}-{suffix}", parent=area)
+    return tree
+
+
+def discipline_tree(disciplines: tuple[str, ...], topics_per_discipline: int = 5,
+                    seed: int | None = 0) -> ClassificationTree:
+    """Two-level tree: discipline -> topics (used for Scopus-like corpora)."""
+    if topics_per_discipline < 1:
+        raise ValueError("topics_per_discipline must be >= 1")
+    _ = as_generator(seed)  # reserved for future stochastic naming
+    tree = ClassificationTree()
+    for discipline in disciplines:
+        tree.add(discipline)
+        for t in range(topics_per_discipline):
+            tree.add(f"{discipline} / topic-{t + 1}", parent=discipline)
+    return tree

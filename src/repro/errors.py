@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` from bad call sites,
+``ValueError`` from numpy, ...) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ShapeError(ReproError):
+    """Tensor/array shapes are inconsistent for the requested operation."""
+
+
+class GraphError(ReproError):
+    """The heterogeneous academic network is malformed or incomplete."""
+
+
+class DataError(ReproError):
+    """A corpus, record, or dataset invariant was violated."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget."""

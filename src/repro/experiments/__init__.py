@@ -1,0 +1,52 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Usage::
+
+    from repro.experiments import run_experiment, available_experiments
+    table = run_experiment("table1")
+    print(table.render())
+
+or from the command line::
+
+    python -m repro.experiments table1
+    python -m repro.experiments all --scale 0.5
+"""
+
+from repro.experiments.common import (
+    EXPERIMENTS,
+    ResultTable,
+    available_experiments,
+    register,
+    render_results,
+    run_experiment,
+)
+from repro.experiments.protocol import (
+    RecommendationTask,
+    UserCase,
+    build_recommendation_task,
+    evaluate_recommender,
+    split_task_by_month,
+    split_task_by_year,
+)
+
+_LOADED = False
+
+
+def _load_all() -> None:
+    """Import every experiment module so the registry is populated."""
+    global _LOADED
+    if _LOADED:
+        return
+    from repro.experiments import (  # noqa: F401
+        fig2, fig3, fig5, fig6,
+        table1, table2, table3, table4, table5, table6, table7, table8,
+    )
+    _LOADED = True
+
+
+__all__ = [
+    "ResultTable", "EXPERIMENTS", "register",
+    "run_experiment", "available_experiments", "render_results",
+    "RecommendationTask", "UserCase", "build_recommendation_task",
+    "evaluate_recommender", "split_task_by_year", "split_task_by_month",
+]

@@ -1,0 +1,42 @@
+"""CLI entry point: ``python -m repro.experiments <id> [--scale S] [--seed N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import available_experiments, render_results, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the requested experiment(s)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. table1, fig6) or 'all'")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="corpus scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="experiment seed (default 0)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(available_experiments()))
+        return 0
+
+    ids = available_experiments() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        print(render_results(result))
+        print(f"\n[{experiment_id} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

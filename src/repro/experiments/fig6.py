@@ -1,0 +1,58 @@
+"""Fig. 6 — personalized patent recommendation on the low-resource PT set.
+
+Patents carry only ownership and references: no venues, keywords, or
+affiliations. Preferences are learned from patents published January to
+October 2017; citations from November-December verify the ranking
+(nDCG@20, 50 users in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.nprec import NPRecConfig, NPRecRecommender
+from repro.data import load_patents
+from repro.experiments.common import ResultTable, register
+from repro.experiments.protocol import evaluate_recommender, split_task_by_month
+from repro.experiments.table4 import RECOMMENDER_FACTORIES
+
+
+def low_resource_nprec(seed: int) -> NPRecRecommender:
+    """NPRec tuned for the low-resource patent setting.
+
+    Patents lack keywords/venues/categories, so interests flow mainly
+    through citations and co-ownership: the profile expands with cited
+    patents and the graph block carries more weight than on ACM/Scopus
+    (the paper likewise tunes all methods per dataset).
+    """
+    return NPRecRecommender(NPRecConfig(
+        seed=seed, expand_profile_with_citations=True,
+        block_gates=(0.3, 0.15, 0.4, 1.2, 0.0), profile_text_weight=0.0))
+
+#: Fig. 6 shows the full method lineup; JTIE/NBCF rely on text+metadata
+#: that patents still have (abstract text), SVD/WNMF on interactions.
+FIG6_METHODS = ("SVD", "WNMF", "NBCF", "MLP", "JTIE", "KGCN", "KGCN-LS",
+                "RippleNet", "NPRec")
+
+
+@register("fig6")
+def run(scale: float = 1.0, seed: int = 0, split_month: int = 11,
+        n_users: int = 30,
+        methods: tuple[str, ...] = FIG6_METHODS) -> ResultTable:
+    """Reproduce Fig. 6 as a table of nDCG@20 values."""
+    corpus = load_patents(scale=scale, seed=seed if seed else None)
+    task = split_task_by_month(corpus, split_month, n_users=n_users,
+                               candidate_size=20, min_prefix=20, seed=seed)
+    table = ResultTable(
+        title="Figure 6: personalized patent recommendation (PT, nDCG@20)",
+        columns=["Method", "nDCG@20"],
+        notes=("Low-resource setting: the academic network shrinks to "
+               "papers+authors+years. NPRec should stay first, confirming "
+               "reusability on low-resource academic data."),
+    )
+    for name in methods:
+        if name == "NPRec":
+            recommender = low_resource_nprec(seed)
+        else:
+            recommender = RECOMMENDER_FACTORIES[name](seed)
+        metrics = evaluate_recommender(recommender, task, ks=(20,))
+        table.add_row(name, metrics["ndcg@20"])
+    return table

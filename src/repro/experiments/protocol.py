@@ -1,0 +1,202 @@
+"""Recommendation evaluation protocol (Sec. IV-E).
+
+The dataset splits into historical papers (before year Y) and *new*
+papers (Y onward). A test **user** is a researcher with enough historical
+publications to model interests and at least one new paper cited by their
+post-split work. For every user we assemble a candidate set — their truly
+cited new papers plus random new-paper distractors — and ask each
+recommender to rank it; nDCG@k / MRR / MAP aggregate over users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    average_precision,
+    mean_metric,
+    ndcg_at_k,
+    reciprocal_rank,
+)
+from repro.baselines.base import Recommender
+from repro.data.corpus import Corpus
+from repro.data.schema import Paper
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class UserCase:
+    """One evaluation user: interests, ground truth, and candidates.
+
+    The candidate tuple is **nested**: its first ``k`` entries form the
+    candidate set for cutoff ``k`` (the paper prepares "k candidate
+    papers" per user, so smaller cutoffs see smaller pools). All relevant
+    papers sit inside the smallest evaluated prefix.
+    """
+
+    author_id: str
+    train_papers: tuple[Paper, ...]
+    relevant_ids: frozenset[str]
+    candidates: tuple[Paper, ...]
+
+    def candidate_set(self, k: int) -> list[Paper]:
+        """The first *k* candidates — the pool evaluated at cutoff *k*."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return list(self.candidates[:k])
+
+
+@dataclass(frozen=True)
+class RecommendationTask:
+    """A full evaluation setup shared by all recommenders."""
+
+    corpus: Corpus
+    train_papers: tuple[Paper, ...]
+    new_papers: tuple[Paper, ...]
+    users: tuple[UserCase, ...]
+
+
+def build_recommendation_task(corpus: Corpus, train_papers: Sequence[Paper],
+                              new_papers: Sequence[Paper], n_users: int = 50,
+                              min_train_papers: int = 2,
+                              representative_papers: int | None = None,
+                              candidate_size: int = 50, min_prefix: int = 20,
+                              seed: int | np.random.Generator | None = 0
+                              ) -> RecommendationTask:
+    """Select users and candidate sets for one evaluation run.
+
+    Parameters
+    ----------
+    corpus:
+        The source corpus (author indexes).
+    train_papers / new_papers:
+        The temporal split (new papers are the recommendation pool).
+    n_users:
+        Users to sample (300/100/50 in the paper's experiments).
+    min_train_papers:
+        Minimum historical publications for interest modelling.
+    representative_papers:
+        When set (#rp of Tab. V), exactly this many of the user's most
+        recent historical papers represent them (users with fewer are
+        skipped).
+    candidate_size:
+        Total candidate-list length (= the largest nDCG cutoff).
+    min_prefix:
+        All relevant papers are placed within the first ``min_prefix``
+        candidates so every evaluated prefix contains them (the paper's
+        "each candidate set contains at least one actually cited paper").
+    """
+    if n_users < 1:
+        raise ValueError("n_users must be >= 1")
+    if candidate_size < 2:
+        raise ValueError("candidate_size must be >= 2")
+    if not 1 <= min_prefix <= candidate_size:
+        raise ValueError("min_prefix must be in [1, candidate_size]")
+    rng = as_generator(seed)
+    train_papers = tuple(train_papers)
+    new_papers = tuple(new_papers)
+    train_ids = {p.id for p in train_papers}
+    new_by_id = {p.id: p for p in new_papers}
+
+    # Which new papers does each author cite in their post-split work?
+    # Ground truth uses lead-authored papers only: a citation reflects the
+    # lead researcher's interests (the paper restricts its user study to
+    # researchers with focused topics, Sec. IV-G).
+    cited_new: dict[str, set[str]] = {}
+    authored_new: dict[str, set[str]] = {}
+    for paper in new_papers:
+        for author in paper.authors:
+            authored_new.setdefault(author, set()).add(paper.id)
+        if paper.authors:
+            lead = paper.authors[0]
+            for ref in paper.references:
+                if ref in new_by_id:
+                    cited_new.setdefault(lead, set()).add(ref)
+
+    required = representative_papers or min_train_papers
+    users: list[UserCase] = []
+    author_ids = sorted(cited_new)
+    rng.shuffle(author_ids)
+    for author_id in author_ids:
+        if len(users) >= n_users:
+            break
+        history = [p for p in corpus.papers_of_author(author_id)
+                   if p.id in train_ids]
+        if len(history) < required:
+            continue
+        history.sort(key=lambda p: (p.year, p.id))
+        if representative_papers is not None:
+            history = history[-representative_papers:]
+        own = authored_new.get(author_id, set())
+        relevant = {pid for pid in cited_new[author_id] if pid not in own}
+        relevant = set(sorted(relevant)[: max(1, min_prefix // 4)])
+        if not relevant:
+            continue
+        distractor_pool = [p for p in new_papers
+                           if p.id not in relevant and p.id not in own]
+        n_distractors = min(len(distractor_pool),
+                            max(0, candidate_size - len(relevant)))
+        picked = rng.choice(len(distractor_pool), size=n_distractors, replace=False)
+        distractors = [distractor_pool[i] for i in picked]
+        # Nested candidate list: relevants mixed into the first
+        # ``min_prefix`` slots, remaining distractors appended after.
+        head_len = min(min_prefix, len(relevant) + len(distractors))
+        head = [new_by_id[pid] for pid in sorted(relevant)]
+        head += distractors[: head_len - len(head)]
+        rng.shuffle(head)
+        tail = distractors[head_len - len(relevant):]
+        candidates = head + tail
+        users.append(UserCase(
+            author_id=author_id,
+            train_papers=tuple(history),
+            relevant_ids=frozenset(relevant),
+            candidates=tuple(candidates),
+        ))
+    if not users:
+        raise ValueError(
+            "no eligible users found; lower min_train_papers or check the split"
+        )
+    return RecommendationTask(corpus, train_papers, new_papers, tuple(users))
+
+
+def split_task_by_year(corpus: Corpus, year: int, **kwargs) -> RecommendationTask:
+    """Convenience wrapper: temporal split at *year* then task assembly."""
+    train, test = corpus.split_by_year(year)
+    return build_recommendation_task(corpus, train, test, **kwargs)
+
+
+def split_task_by_month(corpus: Corpus, month: int, **kwargs) -> RecommendationTask:
+    """Patent protocol (Fig. 6): train on months < *month*, test on the rest."""
+    train = [p for p in corpus if p.month is not None and p.month < month]
+    test = [p for p in corpus if p.month is not None and p.month >= month]
+    return build_recommendation_task(corpus, train, test, **kwargs)
+
+
+def evaluate_recommender(recommender: Recommender, task: RecommendationTask,
+                         ks: Sequence[int] = (20, 30, 50),
+                         fit: bool = True) -> dict[str, float]:
+    """Fit (optionally) and evaluate *recommender* on *task*.
+
+    Returns a dict with ``ndcg@k`` for each cutoff plus ``mrr`` and ``map``.
+    """
+    if fit:
+        recommender.fit(task.corpus, task.train_papers, task.new_papers)
+    per_user: dict[str, list[float]] = {f"ndcg@{k}": [] for k in ks}
+    per_user["mrr"] = []
+    per_user["map"] = []
+    for user in task.users:
+        relevant = set(user.relevant_ids)
+        for k in ks:
+            # Cutoff k sees a candidate pool of exactly k papers — the
+            # paper's "prepare k candidate papers for each user".
+            ranked = recommender.rank(list(user.train_papers),
+                                      user.candidate_set(k))
+            per_user[f"ndcg@{k}"].append(ndcg_at_k(ranked, relevant, k))
+        ranked_full = recommender.rank(list(user.train_papers),
+                                       list(user.candidates))
+        per_user["mrr"].append(reciprocal_rank(ranked_full, relevant))
+        per_user["map"].append(average_precision(ranked_full, relevant))
+    return {metric: mean_metric(values) for metric, values in per_user.items()}

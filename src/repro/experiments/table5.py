@@ -1,0 +1,59 @@
+"""Tab. V — effect of the number of representative papers (#rp) + MRR/MAP.
+
+Users are represented by exactly 3 or 5 of their most recent historical
+papers; nDCG@20 is reported on ACM and Scopus plus MRR/MAP (ACM, #rp=5).
+"""
+
+from __future__ import annotations
+
+from repro.data import load_acm, load_scopus
+from repro.experiments.common import ResultTable, register
+from repro.experiments.protocol import evaluate_recommender, split_task_by_year
+from repro.experiments.table4 import RECOMMENDER_FACTORIES
+
+#: Subset of methods in the paper's Tab. V row order.
+TABLE5_METHODS = ("WNMF", "NBCF", "MLP", "JTIE", "KGCN", "KGCN-LS",
+                  "RippleNet", "NPRec")
+
+
+@register("table5")
+def run(scale: float = 1.0, seed: int = 0, split_year: int = 2014,
+        n_users: int = 40, rps: tuple[int, ...] = (3, 5),
+        methods: tuple[str, ...] = TABLE5_METHODS) -> ResultTable:
+    """Reproduce Tab. V."""
+    table = ResultTable(
+        title="Table V: comparison on different publication numbers (#rp)",
+        columns=["Method"]
+        + [f"ACM nDCG@20 rp={rp}" for rp in rps]
+        + ["ACM MRR rp=5", "ACM MAP rp=5"]
+        + [f"Scopus nDCG@20 rp={rp}" for rp in rps],
+        notes="More representative papers -> better interest modelling.",
+    )
+    acm = load_acm(scale=scale, seed=seed if seed else None)
+    scopus = load_scopus(scale=scale, seed=seed if seed else None)
+    tasks = {}
+    for rp in rps:
+        tasks[("ACM", rp)] = split_task_by_year(
+            acm, split_year, n_users=n_users, representative_papers=rp,
+            candidate_size=20, min_prefix=20, seed=seed)
+        tasks[("Scopus", rp)] = split_task_by_year(
+            scopus, split_year, n_users=n_users, representative_papers=rp,
+            candidate_size=20, min_prefix=20, seed=seed)
+
+    for name in methods:
+        row: list[object] = [name]
+        acm_metrics: dict[int, dict[str, float]] = {}
+        for rp in rps:
+            recommender = RECOMMENDER_FACTORIES[name](seed)
+            acm_metrics[rp] = evaluate_recommender(recommender,
+                                                   tasks[("ACM", rp)], ks=(20,))
+        row += [acm_metrics[rp]["ndcg@20"] for rp in rps]
+        last_rp = rps[-1]
+        row += [acm_metrics[last_rp]["mrr"], acm_metrics[last_rp]["map"]]
+        for rp in rps:
+            recommender = RECOMMENDER_FACTORIES[name](seed)
+            metrics = evaluate_recommender(recommender, tasks[("Scopus", rp)],
+                                           ks=(20,))
+            row.append(metrics["ndcg@20"])
+        table.add_row(*row)
+    return table

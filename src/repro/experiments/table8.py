@@ -1,0 +1,38 @@
+"""Tab. VIII — NPRec ablation over the graph-convolution depth H."""
+
+from __future__ import annotations
+
+from repro.core.nprec import NPRecRecommender
+from repro.data import load_acm
+from repro.experiments.common import ResultTable, register
+from repro.experiments.protocol import evaluate_recommender, split_task_by_year
+from repro.experiments.table7 import VARIANTS, variant_config
+
+
+@register("table8")
+def run(scale: float = 1.0, seed: int = 0, split_year: int = 2014,
+        n_users: int = 40, depths: tuple[int, ...] = (1, 2, 3, 4)) -> ResultTable:
+    """Reproduce Tab. VIII (nDCG@20 per variant and depth H)."""
+    table = ResultTable(
+        title="Table VIII: NPRec variants under graph-convolution depth H (ACM)",
+        columns=["Variant"] + [f"H={h}" for h in depths],
+        notes=("Shallow depths (H<=2) should win: deeper stacks smooth the "
+               "small academic network and overfit."),
+    )
+    task = split_task_by_year(load_acm(scale=scale, seed=seed if seed else None),
+                              split_year, n_users=n_users, candidate_size=20,
+                              min_prefix=20, seed=seed)
+    for variant in VARIANTS:
+        row: list[object] = [variant]
+        if variant == "NPRec+SC":
+            recommender = NPRecRecommender(variant_config(variant, seed))
+            value = evaluate_recommender(recommender, task, ks=(20,))["ndcg@20"]
+            row += [value] + ["-"] * (len(depths) - 1)
+        else:
+            for h in depths:
+                recommender = NPRecRecommender(
+                    variant_config(variant, seed, depth=h))
+                metrics = evaluate_recommender(recommender, task, ks=(20,))
+                row.append(metrics["ndcg@20"])
+        table.add_row(*row)
+    return table

@@ -1,0 +1,18 @@
+"""Heterogeneous academic network substrate (Sec. IV-A)."""
+
+from repro.graph.builder import build_academic_network
+from repro.graph.hetero import (
+    ENTITY_TYPES,
+    ONE_WAY_RELATIONS,
+    RELATION_TYPES,
+    EntityKey,
+    HeterogeneousGraph,
+)
+from repro.graph.sampling import sample_multi_hop, sample_neighbors
+
+__all__ = [
+    "HeterogeneousGraph", "EntityKey",
+    "ENTITY_TYPES", "RELATION_TYPES", "ONE_WAY_RELATIONS",
+    "build_academic_network",
+    "sample_neighbors", "sample_multi_hop",
+]

@@ -1,0 +1,164 @@
+"""Heterogeneous academic network G = (E, R, T_E, T_R) from Sec. IV-A.
+
+Seven entity types and seven relation types, with the citation relation
+treated as the single **one-way** (asymmetric) association: ``p cites q``
+sends interest from p and influence from q, while the other six relations
+are two-way. The graph exposes exactly the neighbourhood views NPRec
+needs:
+
+* ``interest_neighbors(p)`` — two-way neighbours plus papers *p cites*
+  (the paper's N-with-left-arrow);
+* ``influence_neighbors(p)`` — two-way neighbours plus papers *citing p*
+  (the paper's N-with-right-arrow).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+
+#: The seven entity types of T_E.
+ENTITY_TYPES = (
+    "paper", "author", "affiliation", "venue", "category", "keyword", "year",
+)
+
+#: The seven relation types of T_R; ``cites`` is the only one-way relation.
+RELATION_TYPES = (
+    "cites",            # paper -> paper           (one-way)
+    "written_by",       # paper <-> author
+    "published_in",     # paper <-> venue
+    "published_year",   # paper <-> year
+    "affiliated_with",  # author <-> affiliation
+    "has_keyword",      # paper <-> keyword
+    "classified_as",    # paper <-> category
+)
+
+ONE_WAY_RELATIONS = frozenset({"cites"})
+
+
+@dataclass(frozen=True)
+class EntityKey:
+    """Typed identifier of a graph entity."""
+
+    type: str
+    id: str
+
+    def __post_init__(self) -> None:
+        if self.type not in ENTITY_TYPES:
+            raise GraphError(f"unknown entity type {self.type!r}")
+
+
+class HeterogeneousGraph:
+    """Mutable-at-build, index-based heterogeneous graph.
+
+    Entities are registered first (each gets a dense integer index), then
+    edges are added by relation type. Two-way relations automatically
+    index both directions; ``cites`` indexes the two directions separately
+    so the asymmetric neighbourhood views stay distinguishable.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[EntityKey, int] = {}
+        self._keys: list[EntityKey] = []
+        self._two_way: dict[int, list[tuple[int, str]]] = defaultdict(list)
+        self._cites_out: dict[int, list[int]] = defaultdict(list)
+        self._cites_in: dict[int, list[int]] = defaultdict(list)
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_entity(self, entity_type: str, entity_id: str) -> int:
+        """Register an entity (idempotent); returns its dense index."""
+        key = EntityKey(entity_type, entity_id)
+        existing = self._index.get(key)
+        if existing is not None:
+            return existing
+        index = len(self._keys)
+        self._index[key] = index
+        self._keys.append(key)
+        return index
+
+    def add_edge(self, relation: str, source: EntityKey, target: EntityKey) -> None:
+        """Add one typed edge; both endpoints must be registered."""
+        if relation not in RELATION_TYPES:
+            raise GraphError(f"unknown relation type {relation!r}")
+        src = self._index.get(source)
+        dst = self._index.get(target)
+        if src is None or dst is None:
+            missing = source if src is None else target
+            raise GraphError(f"edge endpoint not registered: {missing}")
+        if relation in ONE_WAY_RELATIONS:
+            if source.type != "paper" or target.type != "paper":
+                raise GraphError("cites edges must connect paper entities")
+            self._cites_out[src].append(dst)
+            self._cites_in[dst].append(src)
+        else:
+            self._two_way[src].append((dst, relation))
+            self._two_way[dst].append((src, relation))
+        self._edge_count += 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def index_of(self, entity_type: str, entity_id: str) -> int:
+        """Dense index of an entity; raises :class:`GraphError` if absent."""
+        key = EntityKey(entity_type, entity_id)
+        index = self._index.get(key)
+        if index is None:
+            raise GraphError(f"entity not in graph: {key}")
+        return index
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        entity_type, entity_id = key
+        return EntityKey(entity_type, entity_id) in self._index
+
+    def key_of(self, index: int) -> EntityKey:
+        """Inverse of :meth:`index_of`."""
+        return self._keys[index]
+
+    @property
+    def num_entities(self) -> int:
+        """Total registered entities."""
+        return len(self._keys)
+
+    @property
+    def num_edges(self) -> int:
+        """Total edges added (two-way edges count once)."""
+        return self._edge_count
+
+    def entities_of_type(self, entity_type: str) -> list[int]:
+        """Indices of all entities of *entity_type*."""
+        if entity_type not in ENTITY_TYPES:
+            raise GraphError(f"unknown entity type {entity_type!r}")
+        return [i for i, key in enumerate(self._keys) if key.type == entity_type]
+
+    # ------------------------------------------------------------------
+    # Neighbourhood views (Sec. IV-A)
+    # ------------------------------------------------------------------
+    def two_way_neighbors(self, index: int) -> list[int]:
+        """Neighbours over the six symmetric relations."""
+        return [dst for dst, _ in self._two_way.get(index, [])]
+
+    def cited_papers(self, index: int) -> list[int]:
+        """Papers this paper cites (out-citations)."""
+        return list(self._cites_out.get(index, []))
+
+    def citing_papers(self, index: int) -> list[int]:
+        """Papers citing this paper (in-citations)."""
+        return list(self._cites_in.get(index, []))
+
+    def interest_neighbors(self, index: int) -> list[int]:
+        """Two-way neighbours + cited papers — the interest view of p."""
+        return self.two_way_neighbors(index) + self.cited_papers(index)
+
+    def influence_neighbors(self, index: int) -> list[int]:
+        """Two-way neighbours + citing papers — the influence view of p."""
+        return self.two_way_neighbors(index) + self.citing_papers(index)
+
+    def all_neighbors(self, index: int) -> list[int]:
+        """Every neighbour regardless of direction."""
+        return (self.two_way_neighbors(index)
+                + self.cited_papers(index) + self.citing_papers(index))

@@ -1,0 +1,69 @@
+"""Fixed-size neighbourhood sampling for graph convolution.
+
+NPRec (like KGCN) aggregates a fixed number of neighbours K per node per
+layer; nodes with fewer neighbours are sampled with replacement, nodes
+with none receive an empty sample (their aggregation falls back to the
+self vector alone).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.hetero import HeterogeneousGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+_VIEWS = ("interest", "influence", "two_way", "all")
+
+
+def sample_neighbors(graph: HeterogeneousGraph, index: int, k: int,
+                     view: str = "all",
+                     rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Sample *k* neighbour indices of node *index* under *view*.
+
+    Returns an int array of length ``k`` (with replacement when the true
+    neighbourhood is smaller), or length 0 for isolated nodes.
+    """
+    check_positive("k", k)
+    if view not in _VIEWS:
+        raise ValueError(f"view must be one of {_VIEWS}, got {view!r}")
+    if view == "interest":
+        neighbours = graph.interest_neighbors(index)
+    elif view == "influence":
+        neighbours = graph.influence_neighbors(index)
+    elif view == "two_way":
+        neighbours = graph.two_way_neighbors(index)
+    else:
+        neighbours = graph.all_neighbors(index)
+    if not neighbours:
+        return np.empty(0, dtype=int)
+    rng = as_generator(rng)
+    if len(neighbours) >= k:
+        picked = rng.choice(len(neighbours), size=k, replace=False)
+    else:
+        picked = rng.choice(len(neighbours), size=k, replace=True)
+    return np.asarray([neighbours[i] for i in picked], dtype=int)
+
+
+def sample_multi_hop(graph: HeterogeneousGraph, index: int, k: int, hops: int,
+                     view: str = "all",
+                     rng: np.random.Generator | int | None = None) -> list[np.ndarray]:
+    """Layered receptive field: hop h holds up to ``k**h`` sampled indices.
+
+    The first element is ``[index]`` itself; element h contains the
+    sampled neighbours of element h-1 (flattened), mirroring the KGCN
+    receptive-field construction.
+    """
+    check_positive("hops", hops)
+    rng = as_generator(rng)
+    layers: list[np.ndarray] = [np.asarray([index], dtype=int)]
+    for _ in range(hops):
+        frontier: list[int] = []
+        for node in layers[-1]:
+            sampled = sample_neighbors(graph, int(node), k, view=view, rng=rng)
+            if sampled.size == 0:  # keep the receptive field aligned
+                sampled = np.full(k, int(node), dtype=int)
+            frontier.extend(int(s) for s in sampled)
+        layers.append(np.asarray(frontier, dtype=int))
+    return layers

@@ -1,0 +1,78 @@
+"""Loss functions: hinge/margin ranking (paper Eq. 14), BCE, CE, MSE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax
+from repro.nn.tensor import Tensor, as_tensor
+
+
+def margin_ranking_loss(pos_distance: Tensor, neg_distance: Tensor,
+                        margin: float = 1.0) -> Tensor:
+    """Hinge contrastive loss from paper Eq. 14 (without the L2 term).
+
+    For a triplet (p, q, q') annotated so the *positive* pair (p, q) should
+    have the **larger** difference, the loss penalises orderings where the
+    model's D(p, q) does not exceed D(p, q') by at least *margin*:
+
+    ``mean(max(0, D(p, q') - D(p, q) + margin))``
+
+    Parameters
+    ----------
+    pos_distance:
+        Model distance of pairs annotated as *more different* — should end
+        up larger.
+    neg_distance:
+        Model distance of pairs annotated as *less different*.
+    margin:
+        The epsilon slack in Eq. 14.
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    return (neg_distance - pos_distance + margin).clip_min(0.0).mean()
+
+
+def l2_regularization(params: list[Tensor], weight: float) -> Tensor:
+    """``weight * sum(||theta||^2)`` — the lambda term of Eqs. 14 and 23."""
+    if weight < 0:
+        raise ValueError(f"regularization weight must be non-negative, got {weight}")
+    total = as_tensor(0.0)
+    for param in params:
+        total = total + (param * param).sum()
+    return total * weight
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray | Tensor) -> Tensor:
+    """Numerically stable BCE on raw scores (paper Eq. 23 likelihood term).
+
+    Uses the log-sum-exp identity
+    ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    target_t = as_tensor(targets)
+    positive_part = logits.clip_min(0.0)
+    softplus_term = ((-(logits.abs())).exp() + 1.0).log()
+    return (positive_part - logits * target_t + softplus_term).mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer *targets* under *logits*.
+
+    *logits* is ``(n, classes)``; *targets* is an ``(n,)`` int array.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects 2-D logits, got shape {logits.shape}")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(targets.shape[0]), targets]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - as_tensor(target)
+    return (diff * diff).mean()

@@ -1,0 +1,21 @@
+"""Saving and loading module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write *module*'s parameters to an ``.npz`` archive at *path*."""
+    np.savez(os.fspath(path), **module.state_dict())
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved by :func:`save_module` into *module* (strict)."""
+    with np.load(os.fspath(path)) as archive:
+        module.load_state_dict({name: archive[name] for name in archive.files})
+    return module

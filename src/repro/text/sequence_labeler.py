@@ -1,0 +1,210 @@
+"""Sentence-function labelling: which subspace does each sentence serve?
+
+The paper tags every abstract sentence with its rhetorical function
+(background / method / result) using a BERT+CRF tagger pretrained on
+PubMedRCT-style data [27]. We implement the CRF part faithfully: a
+linear-chain conditional random field with Viterbi decoding, trained with
+the averaged structured perceptron over interpretable sentence features
+(position buckets and rhetorical cue words). Accuracy on our synthetic
+corpora is comparable to the role separability the paper's tagger enjoys,
+and the interface — ``predict(abstract) -> [label per sentence]`` — is
+identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.text.tokenizer import split_sentences, tokenize
+from repro.utils.rng import as_generator
+
+#: Canonical subspace names, in label-id order.
+SUBSPACE_NAMES = ("background", "method", "result")
+
+#: Rhetorical cue lexicons per subspace; these mirror the hand-built
+#: feature templates common in sequential sentence classification work.
+CUE_WORDS: dict[str, frozenset[str]] = {
+    "background": frozenset(
+        "background problem challenge important increasingly existing prior "
+        "recently traditionally motivation however limitation grow widely "
+        "critical difficult attention remains known".split()
+    ),
+    "method": frozenset(
+        "propose present method approach model algorithm design introduce "
+        "framework technique develop formulate architecture implement adopt "
+        "leverage combine novel our learn train optimize".split()
+    ),
+    "result": frozenset(
+        "results show experiments demonstrate achieve outperforms evaluation "
+        "accuracy improvement improves gain significantly empirical measured "
+        "baselines datasets conclude effectiveness performance percent".split()
+    ),
+}
+
+
+def sentence_features(sentences: Sequence[str]) -> np.ndarray:
+    """Featurise *sentences* into a binary/real matrix ``(n, F)``.
+
+    Features per sentence: five position buckets (first / first-third /
+    middle-third / last-third / last), one cue-word-count feature per
+    subspace lexicon, sentence length bucket, and a bias term.
+    """
+    n = len(sentences)
+    names = list(CUE_WORDS)
+    feature_count = 5 + len(names) + 2 + 1
+    matrix = np.zeros((n, feature_count))
+    for i, sentence in enumerate(sentences):
+        tokens = tokenize(sentence)
+        token_set = set(tokens)
+        relative = i / max(1, n - 1) if n > 1 else 0.0
+        matrix[i, 0] = 1.0 if i == 0 else 0.0
+        matrix[i, 1] = 1.0 if relative < 1 / 3 else 0.0
+        matrix[i, 2] = 1.0 if 1 / 3 <= relative < 2 / 3 else 0.0
+        matrix[i, 3] = 1.0 if relative >= 2 / 3 else 0.0
+        matrix[i, 4] = 1.0 if i == n - 1 else 0.0
+        for j, name in enumerate(names):
+            overlap = len(token_set & CUE_WORDS[name])
+            matrix[i, 5 + j] = min(overlap, 3) / 3.0
+        matrix[i, 5 + len(names)] = min(len(tokens), 40) / 40.0
+        matrix[i, 5 + len(names) + 1] = 1.0 if len(tokens) < 8 else 0.0
+        matrix[i, -1] = 1.0
+    return matrix
+
+
+class SequenceLabeler:
+    """Linear-chain CRF sentence-function tagger.
+
+    Scores a label sequence ``l`` for feature rows ``x`` as
+    ``sum_i W[l_i] . x_i + sum_i T[l_{i-1}, l_i]`` and decodes the argmax
+    with Viterbi. Training uses the averaged structured perceptron:
+    whenever the decoded sequence differs from gold, weights move toward
+    gold features and away from predicted features.
+
+    Parameters
+    ----------
+    num_labels:
+        Number of subspaces K (default 3: background/method/result).
+    epochs:
+        Perceptron passes over the training set.
+    seed:
+        Shuffling seed.
+    """
+
+    def __init__(self, num_labels: int = len(SUBSPACE_NAMES), epochs: int = 10,
+                 seed: int | None = 0) -> None:
+        if num_labels < 1:
+            raise ValueError(f"num_labels must be >= 1, got {num_labels}")
+        self.num_labels = num_labels
+        self.epochs = epochs
+        self._seed = seed
+        self.emission_: np.ndarray | None = None  # (K, F)
+        self.transition_: np.ndarray | None = None  # (K, K)
+
+    # ------------------------------------------------------------------
+    def fit(self, abstracts: Sequence[str], labels: Sequence[Sequence[int]]) -> "SequenceLabeler":
+        """Train on (abstract text, per-sentence label list) pairs."""
+        if len(abstracts) != len(labels):
+            raise ValueError(
+                f"got {len(abstracts)} abstracts but {len(labels)} label sequences"
+            )
+        featurised: list[tuple[np.ndarray, np.ndarray]] = []
+        for text, gold in zip(abstracts, labels):
+            sentences = split_sentences(text)
+            gold = np.asarray(gold, dtype=int)
+            if len(sentences) != len(gold):
+                raise ValueError(
+                    f"abstract has {len(sentences)} sentences but {len(gold)} labels"
+                )
+            if gold.size and (gold.min() < 0 or gold.max() >= self.num_labels):
+                raise ValueError(f"labels out of range [0, {self.num_labels})")
+            if len(sentences) == 0:
+                continue
+            featurised.append((sentence_features(sentences), gold))
+        if not featurised:
+            raise ValueError("no non-empty training abstracts")
+
+        feature_count = featurised[0][0].shape[1]
+        emission = np.zeros((self.num_labels, feature_count))
+        transition = np.zeros((self.num_labels, self.num_labels))
+        emission_sum = np.zeros_like(emission)
+        transition_sum = np.zeros_like(transition)
+        rng = as_generator(self._seed)
+        updates = 0
+        order = np.arange(len(featurised))
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for idx in order:
+                features, gold = featurised[idx]
+                predicted = self._viterbi(features, emission, transition)
+                if np.array_equal(predicted, gold):
+                    continue
+                for i in range(len(gold)):
+                    emission[gold[i]] += features[i]
+                    emission[predicted[i]] -= features[i]
+                    if i > 0:
+                        transition[gold[i - 1], gold[i]] += 1.0
+                        transition[predicted[i - 1], predicted[i]] -= 1.0
+                emission_sum += emission
+                transition_sum += transition
+                updates += 1
+        if updates:
+            self.emission_ = emission_sum / updates
+            self.transition_ = transition_sum / updates
+        else:  # already perfect from the zero vector (degenerate data)
+            self.emission_ = emission
+            self.transition_ = transition
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.emission_ is None or self.transition_ is None:
+            raise NotFittedError("SequenceLabeler.fit must be called before predict()")
+        return self.emission_, self.transition_
+
+    @staticmethod
+    def _viterbi(features: np.ndarray, emission: np.ndarray,
+                 transition: np.ndarray) -> np.ndarray:
+        n = features.shape[0]
+        k = emission.shape[0]
+        scores = features @ emission.T  # (n, K)
+        best = np.zeros((n, k))
+        back = np.zeros((n, k), dtype=int)
+        best[0] = scores[0]
+        for i in range(1, n):
+            candidate = best[i - 1][:, None] + transition  # (K_prev, K_cur)
+            back[i] = candidate.argmax(axis=0)
+            best[i] = candidate.max(axis=0) + scores[i]
+        path = np.zeros(n, dtype=int)
+        path[-1] = int(best[-1].argmax())
+        for i in range(n - 1, 0, -1):
+            path[i - 1] = back[i, path[i]]
+        return path
+
+    def predict(self, abstract: str) -> list[int]:
+        """Label each sentence of *abstract* with its subspace id."""
+        emission, transition = self._require_fitted()
+        sentences = split_sentences(abstract)
+        if not sentences:
+            return []
+        features = sentence_features(sentences)
+        return self._viterbi(features, emission, transition).tolist()
+
+    def predict_many(self, abstracts: Sequence[str]) -> list[list[int]]:
+        """Vector version of :meth:`predict`."""
+        return [self.predict(text) for text in abstracts]
+
+    def accuracy(self, abstracts: Sequence[str], labels: Sequence[Sequence[int]]) -> float:
+        """Per-sentence tagging accuracy against gold labels."""
+        correct = 0
+        total = 0
+        for text, gold in zip(abstracts, labels):
+            predicted = self.predict(text)
+            for p, g in zip(predicted, gold):
+                correct += int(p == g)
+                total += 1
+        if total == 0:
+            raise ValueError("no sentences to score")
+        return correct / total

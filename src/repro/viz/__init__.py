@@ -1,0 +1,5 @@
+"""Dependency-free SVG chart rendering for the paper's figures."""
+
+from repro.viz.svg import PALETTE, grouped_bars_svg, save_svg, scatter_svg
+
+__all__ = ["scatter_svg", "grouped_bars_svg", "save_svg", "PALETTE"]

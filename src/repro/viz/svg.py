@@ -1,0 +1,160 @@
+"""Dependency-free SVG charts for the paper's figures.
+
+matplotlib is not available offline, so the figure experiments render
+their scatter/bar panels as standalone SVG files with this tiny writer.
+Only the two chart types the paper needs are implemented: scatter plots
+with an optional regression line (Figs. 3 and 5) and grouped bar charts
+(Figs. 2 and 6).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+#: Brand-neutral categorical palette (dark-on-light friendly).
+PALETTE = ("#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+           "#ff8ab7", "#a463f2", "#97bbf5")
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+@dataclass
+class _Canvas:
+    width: int = 480
+    height: int = 320
+    margin: int = 48
+    elements: list[str] = field(default_factory=list)
+
+    def line(self, x1, y1, x2, y2, stroke="#444", width=1.0, dash="") -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>')
+
+    def circle(self, x, y, r, fill) -> None:
+        self.elements.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{fill}" '
+            f'fill-opacity="0.75"/>')
+
+    def rect(self, x, y, w, h, fill) -> None:
+        self.elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}"/>')
+
+    def text(self, x, y, content, size=11, anchor="middle", color="#222") -> None:
+        self.elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-family="sans-serif">{_escape(str(content))}</text>')
+
+    def render(self) -> str:
+        body = "\n  ".join(self.elements)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">\n'
+                f'  <rect width="100%" height="100%" fill="white"/>\n'
+                f'  {body}\n</svg>\n')
+
+
+def _axes(canvas: _Canvas, title: str, x_label: str, y_label: str) -> None:
+    m = canvas.margin
+    canvas.line(m, canvas.height - m, canvas.width - m, canvas.height - m)
+    canvas.line(m, m, m, canvas.height - m)
+    canvas.text(canvas.width / 2, 20, title, size=13)
+    canvas.text(canvas.width / 2, canvas.height - 10, x_label, size=11)
+    canvas.text(14, canvas.height / 2, y_label, size=11)
+
+
+def _scale(values: np.ndarray, lo_px: float, hi_px: float) -> np.ndarray:
+    vmin, vmax = float(values.min()), float(values.max())
+    if vmax - vmin < 1e-12:
+        return np.full_like(values, (lo_px + hi_px) / 2.0)
+    return lo_px + (values - vmin) / (vmax - vmin) * (hi_px - lo_px)
+
+
+def scatter_svg(x: Sequence[float], y: Sequence[float],
+                labels: Sequence[int] | None = None, title: str = "",
+                x_label: str = "", y_label: str = "",
+                trend: tuple[float, float] | None = None) -> str:
+    """Render a scatter plot; *trend* is an optional (slope, intercept)
+    line in data coordinates. *labels* colour points by group index."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"x and y must match, got {x.shape} vs {y.shape}")
+    if x.size == 0:
+        raise ValueError("cannot plot an empty scatter")
+    canvas = _Canvas()
+    m = canvas.margin
+    _axes(canvas, title, x_label, y_label)
+    xs = _scale(x, m + 6, canvas.width - m - 6)
+    ys = _scale(y, canvas.height - m - 6, m + 6)
+    groups = np.zeros(x.size, dtype=int) if labels is None else np.asarray(labels)
+    for px, py, g in zip(xs, ys, groups):
+        canvas.circle(px, py, 3.5, PALETTE[int(g) % len(PALETTE)])
+    if trend is not None:
+        slope, intercept = trend
+        tx = np.array([x.min(), x.max()])
+        ty = slope * tx + intercept
+        # clip to data range so the line stays inside the axes
+        ty = np.clip(ty, min(y.min(), ty.min()), max(y.max(), ty.max()))
+        txp = _scale(np.concatenate([x, tx]), m + 6, canvas.width - m - 6)[-2:]
+        typ = _scale(np.concatenate([y, ty]), canvas.height - m - 6, m + 6)[-2:]
+        canvas.line(txp[0], typ[0], txp[1], typ[1], stroke="#d33",
+                    width=1.6, dash="5,3")
+    # axis extremes
+    canvas.text(m, canvas.height - m + 14, f"{x.min():.3g}", size=9, anchor="start")
+    canvas.text(canvas.width - m, canvas.height - m + 14, f"{x.max():.3g}",
+                size=9, anchor="end")
+    canvas.text(m - 4, canvas.height - m, f"{y.min():.3g}", size=9, anchor="end")
+    canvas.text(m - 4, m + 4, f"{y.max():.3g}", size=9, anchor="end")
+    return canvas.render()
+
+
+def grouped_bars_svg(group_names: Sequence[str], series: dict[str, Sequence[float]],
+                     title: str = "", y_label: str = "") -> str:
+    """Render grouped bars: one cluster per group, one bar per series."""
+    if not series:
+        raise ValueError("series must be non-empty")
+    names = list(group_names)
+    matrix = np.array([list(values) for values in series.values()], dtype=np.float64)
+    if matrix.shape[1] != len(names):
+        raise ValueError(
+            f"every series needs {len(names)} values, got shape {matrix.shape}")
+    canvas = _Canvas(width=max(480, 90 * len(names) + 160))
+    m = canvas.margin
+    _axes(canvas, title, "", y_label)
+    top = float(max(matrix.max(), 1e-9))
+    plot_w = canvas.width - 2 * m
+    cluster_w = plot_w / len(names)
+    bar_w = min(22.0, cluster_w * 0.8 / matrix.shape[0])
+    for gi, name in enumerate(names):
+        cluster_x = m + gi * cluster_w + cluster_w / 2
+        start = cluster_x - bar_w * matrix.shape[0] / 2
+        for si in range(matrix.shape[0]):
+            value = matrix[si, gi]
+            h = (canvas.height - 2 * m) * value / top
+            canvas.rect(start + si * bar_w, canvas.height - m - h, bar_w - 1.5,
+                        h, PALETTE[si % len(PALETTE)])
+        canvas.text(cluster_x, canvas.height - m + 14, name, size=10)
+    # legend
+    lx = m
+    for si, label in enumerate(series):
+        canvas.rect(lx, 28, 10, 10, PALETTE[si % len(PALETTE)])
+        canvas.text(lx + 14, 37, label, size=10, anchor="start")
+        lx += 14 + 7 * len(label) + 16
+    canvas.text(m - 4, m + 4, f"{top:.3g}", size=9, anchor="end")
+    return canvas.render()
+
+
+def save_svg(svg: str, path: str | os.PathLike) -> None:
+    """Write an SVG document to *path*."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        handle.write(svg)

@@ -1,0 +1,49 @@
+"""Integration: the full GMM->LOF->Spearman pipeline on corpus embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import outlier_citation_study
+from repro.core.sem import SEMConfig, SubspaceEmbeddingMethod
+from repro.data import load_scopus
+
+
+@pytest.fixture(scope="module")
+def sem_and_papers():
+    corpus = load_scopus(scale=0.3, seed=20)
+    papers = corpus.by_field("computer_science")
+    sem = SubspaceEmbeddingMethod(SEMConfig(n_triplets=40, epochs=2, seed=0))
+    sem.fit(papers)
+    return sem, papers
+
+
+class TestEndToEndCorrelation:
+    def test_method_subspace_positive_trend(self, sem_and_papers):
+        sem, papers = sem_and_papers
+        study = outlier_citation_study(
+            sem.subspace_matrix(papers, 1),
+            [p.citation_count for p in papers], seed=0)
+        assert study.trend.slope > 0
+        assert study.spearman > 0
+
+    def test_study_fields_consistent(self, sem_and_papers):
+        sem, papers = sem_and_papers
+        study = outlier_citation_study(
+            sem.subspace_matrix(papers, 0),
+            [p.citation_count for p in papers], seed=0)
+        assert study.outlier_scores.shape == (len(papers),)
+        assert study.citations.shape == (len(papers),)
+        assert 0.0 <= study.outlier_scores.min()
+        assert study.outlier_scores.max() <= 1.0
+
+    def test_reference_pool_changes_scores(self, sem_and_papers):
+        """Scoring new papers against a historical reference pool gives
+        different (and generally better calibrated) scores than scoring
+        them against each other only."""
+        sem, papers = sem_and_papers
+        new = papers[-30:]
+        history = papers[:-30]
+        alone = sem.outlier_scores(new, 1, seed=0)
+        with_ref = sem.outlier_scores(new, 1, reference=history, seed=0)
+        assert alone.shape == with_ref.shape == (30,)
+        assert not np.allclose(alone, with_ref)

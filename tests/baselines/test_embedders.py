@@ -1,0 +1,90 @@
+"""Tests for the document-embedding baselines (SHPE, Doc2Vec, BERT-avg)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BertAverageEmbedder, Doc2VecEmbedder, SHPEEmbedder
+from repro.data import Paper, load_scopus
+from repro.errors import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def papers():
+    return load_scopus(scale=0.2, seed=4).papers[:60]
+
+
+@pytest.mark.parametrize("embedder_cls", [SHPEEmbedder, Doc2VecEmbedder,
+                                          BertAverageEmbedder])
+class TestCommonContract:
+    def test_embed_shapes_consistent(self, embedder_cls, papers):
+        embedder = embedder_cls().fit(papers)
+        matrix = embedder.embed_many(papers[:10])
+        assert matrix.shape[0] == 10
+        assert np.isfinite(matrix).all()
+
+    def test_not_fitted(self, embedder_cls, papers):
+        with pytest.raises(NotFittedError):
+            embedder_cls().embed(papers[0])
+
+    def test_deterministic(self, embedder_cls, papers):
+        a = embedder_cls().fit(papers).embed(papers[0])
+        b = embedder_cls().fit(papers).embed(papers[0])
+        np.testing.assert_allclose(a, b)
+
+
+class TestSpecifics:
+    def test_shpe_drops_oov_words(self, papers):
+        embedder = SHPEEmbedder().fit(papers)
+        # a paper made exclusively of words unseen in the corpus collapses
+        # to the TF-IDF-only part (word half = zeros)
+        alien = Paper(id="alien", title="zzz", abstract="Qqqqx wwwwy vvvvz.",
+                      year=2015, field="cs")
+        vec = embedder.embed(alien)
+        np.testing.assert_allclose(vec[:embedder.dim], 0.0)
+
+    def test_bert_fragments_rare_words(self, papers):
+        embedder = BertAverageEmbedder().fit(papers)
+        # two distinct rare words with shared trigrams embed similarly
+        a = Paper(id="a", title="t", abstract="Vibazuko gomu.", year=2015,
+                  field="cs")
+        b = Paper(id="b", title="t", abstract="Vibazuka gomu.", year=2015,
+                  field="cs")
+        va, vb = embedder.embed(a), embedder.embed(b)
+        cos = va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb))
+        assert cos > 0.8
+
+    def test_doc2vec_train_papers_have_learned_vectors(self, papers):
+        embedder = Doc2VecEmbedder(epochs=2, seed=0).fit(papers)
+        trained = embedder.embed(papers[0])
+        unseen = Paper(id="unseen", title="t",
+                       abstract=papers[0].abstract, year=2016, field="cs")
+        inferred = embedder.embed(unseen)
+        assert trained.shape == inferred.shape
+        assert not np.allclose(trained, inferred)
+
+    def test_doc2vec_same_topic_closer(self, papers):
+        embedder = Doc2VecEmbedder(epochs=4, seed=0).fit(papers)
+        by_field = {}
+        for p in papers:
+            by_field.setdefault(p.field, []).append(p)
+        fields = [group for group in by_field.values() if len(group) >= 4]
+        assert len(fields) >= 2
+
+        def cos(a, b):
+            va, vb = embedder.embed(a), embedder.embed(b)
+            return va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb) + 1e-9)
+
+        same, cross = [], []
+        for i, group in enumerate(fields):
+            for a, b in zip(group[:4], group[1:5]):
+                same.append(cos(a, b))
+            other = fields[(i + 1) % len(fields)]
+            for a, b in zip(group[:4], other[:4]):
+                cross.append(cos(a, b))
+        assert np.mean(same) > np.mean(cross)
+
+    def test_empty_abstract_handled(self, papers):
+        blank = Paper(id="blank", title="t", abstract="", year=2015, field="cs")
+        for embedder_cls in (SHPEEmbedder, BertAverageEmbedder):
+            vec = embedder_cls().fit(papers).embed(blank)
+            assert np.isfinite(vec).all()

@@ -1,0 +1,88 @@
+"""Tests for the CLT / CSJ / HP quality scorers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CLTScorer, CSJScorer, HPScorer
+from repro.data import Author, Corpus, Paper, load_scopus
+
+
+@pytest.fixture(scope="module")
+def scopus():
+    return load_scopus(scale=0.25, seed=2)
+
+
+class TestTextScorers:
+    def test_scores_are_finite(self, scopus):
+        papers = scopus.papers[:40]
+        for scorer_cls in (CLTScorer, CSJScorer):
+            scorer = scorer_cls().fit(papers)
+            scores = scorer.score_many(papers)
+            assert np.isfinite(scores).all()
+            assert scores.std() > 0  # not constant
+
+    def test_fit_normalisation_changes_scale(self, scopus):
+        papers = scopus.papers[:40]
+        fitted = CLTScorer().fit(papers)
+        raw = CLTScorer()
+        assert fitted.score(papers[0]) != raw.score(papers[0])
+
+    def test_different_scorers_disagree(self, scopus):
+        papers = scopus.papers[:40]
+        clt = CLTScorer().fit(papers).score_many(papers)
+        csj = CSJScorer().fit(papers).score_many(papers)
+        assert not np.allclose(clt, csj)
+
+    def test_empty_abstract(self):
+        paper = Paper(id="e", title="t", abstract="", year=2015, field="cs")
+        assert np.isfinite(CLTScorer().score(paper))
+
+
+class TestHPScorer:
+    def _mini_corpus(self):
+        papers = [
+            Paper(id="old1", title="t", abstract="A.", year=2010, field="cs",
+                  authors=("star",)),
+            Paper(id="old2", title="t", abstract="A.", year=2011, field="cs",
+                  authors=("star",), references=("old1",)),
+            Paper(id="old3", title="t", abstract="A.", year=2012, field="cs",
+                  authors=("nobody",), references=("old1", "old2")),
+            Paper(id="new_star", title="t", abstract="A.", year=2013, field="cs",
+                  authors=("star",)),
+            Paper(id="new_nobody", title="t", abstract="A.", year=2013, field="cs",
+                  authors=("fresh",)),
+            Paper(id="citer", title="t", abstract="A.", year=2014, field="cs",
+                  authors=("nobody",), references=("new_star",)),
+        ]
+        authors = [Author(a, a) for a in ("star", "nobody", "fresh")]
+        return Corpus("mini", papers, authors=authors)
+
+    def test_h_index_computation(self):
+        corpus = self._mini_corpus()
+        hp = HPScorer(corpus, history_year=2013)
+        # star has papers old1 (2 cites) and old2 (1 cite) -> h = 1... old1
+        # cited by old2+old3 = 2, old2 cited by old3 = 1 -> h-index = 1? No:
+        # counts [2, 1]: h=1 needs >=1 (yes), h=2 needs second >=2 (1 < 2).
+        assert hp.h_index("star") == 1
+        assert hp.h_index("fresh") == 0
+
+    def test_new_paper_scoring_prefers_established_authors(self):
+        corpus = self._mini_corpus()
+        hp = HPScorer(corpus, history_year=2013)
+        star_paper = corpus.get_paper("new_star")
+        fresh_paper = corpus.get_paper("new_nobody")
+        assert hp.score(star_paper) > hp.score(fresh_paper)
+
+    def test_early_citations_counted(self):
+        corpus = self._mini_corpus()
+        hp = HPScorer(corpus, history_year=2013, early_weight=10.0)
+        # new_star is cited by 'citer' (2014 = within one year of 2013)
+        assert hp.score(corpus.get_paper("new_star")) >= 10.0
+
+    def test_correlates_with_citations_on_synthetic(self, scopus):
+        from repro.analysis import spearman_correlation
+        papers = sorted(scopus.papers, key=lambda p: p.year)[-60:]
+        hp = HPScorer(scopus, history_year=2015)
+        rho = spearman_correlation(hp.score_many(papers),
+                                   [p.citation_count for p in papers])
+        assert rho > 0.0  # authority carries real signal in the generator

@@ -1,0 +1,59 @@
+"""Extra GMM/BIC/t-SNE coverage: likelihood monotonicity and robustness."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GaussianMixture, select_components_bic, tsne
+
+
+class TestEMProperties:
+    def test_em_increases_likelihood_with_iterations(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack([rng.normal(0, 1, (60, 2)), rng.normal(6, 1, (60, 2))])
+        short = GaussianMixture(2, max_iter=1, seed=0).fit(data)
+        long = GaussianMixture(2, max_iter=50, seed=0).fit(data)
+        assert long.score(data) >= short.score(data) - 1e-6
+
+    def test_bic_penalises_complexity_on_noise(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(80, 2))
+        bic1 = GaussianMixture(1, seed=0).fit(data).bic(data)
+        bic6 = GaussianMixture(6, seed=0).fit(data).bic(data)
+        assert bic1 < bic6  # lower = better; 6 comps overfit pure noise
+
+    def test_variance_floor_respected(self):
+        data = np.zeros((10, 2))
+        data[0] = [1e-12, 0]
+        gmm = GaussianMixture(2, reg_covar=1e-6, seed=0).fit(data)
+        assert np.all(gmm.variances_ >= 1e-6 - 1e-15)
+
+    def test_select_components_deterministic(self):
+        rng = np.random.default_rng(2)
+        data = np.vstack([rng.normal(0, 1, (40, 2)), rng.normal(8, 1, (40, 2))])
+        a = select_components_bic(data, max_components=4, seed=3)
+        b = select_components_bic(data, max_components=4, seed=3)
+        assert a.n_components == b.n_components
+        np.testing.assert_allclose(a.means_, b.means_)
+
+    def test_single_point_cluster_count_capped(self):
+        data = np.random.default_rng(3).normal(size=(3, 2))
+        best = select_components_bic(data, max_components=10, seed=0)
+        assert best.n_components <= 3
+
+
+class TestTsneExtra:
+    def test_perplexity_clamped_for_tiny_inputs(self):
+        data = np.random.default_rng(0).normal(size=(5, 3))
+        out = tsne(data, perplexity=50.0, n_iter=30, seed=0)
+        assert out.shape == (5, 2)
+        assert np.isfinite(out).all()
+
+    def test_output_centred(self):
+        data = np.random.default_rng(1).normal(size=(20, 4)) + 10
+        out = tsne(data, n_iter=50, seed=0)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_components_parameter(self):
+        data = np.random.default_rng(2).normal(size=(12, 4))
+        out = tsne(data, n_components=3, n_iter=30, seed=0)
+        assert out.shape == (12, 3)

@@ -1,0 +1,64 @@
+"""Additional annotation and twin-network coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotation import annotate_triplets
+from repro.core.rules import ExpertRuleSet
+from repro.core.twin import TwinNetworkTrainer
+from repro.core.subspace_model import SubspaceEmbeddingNetwork
+from repro.data import load_scopus
+from repro.text import SentenceEncoder
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = load_scopus(scale=0.15, seed=21)
+    papers = corpus.papers[:45]
+    rules = ExpertRuleSet(SentenceEncoder(dim=16)).fit(papers, n_pairs=30, seed=0)
+    return papers, rules
+
+
+class TestAnnotationDeterminism:
+    def test_same_seed_same_triplets(self, setup):
+        papers, rules = setup
+        a = annotate_triplets(papers, rules, n_triplets=8, seed=5)
+        b = annotate_triplets(papers, rules, n_triplets=8, seed=5)
+        assert [(t.anchor, t.positive, t.negative, t.subspace) for t in a] == \
+            [(t.anchor, t.positive, t.negative, t.subspace) for t in b]
+
+    def test_different_seed_differs(self, setup):
+        papers, rules = setup
+        a = annotate_triplets(papers, rules, n_triplets=8, seed=5)
+        b = annotate_triplets(papers, rules, n_triplets=8, seed=6)
+        assert [(t.anchor, t.positive) for t in a] != \
+            [(t.anchor, t.positive) for t in b]
+
+    def test_triplet_members_distinct(self, setup):
+        papers, rules = setup
+        for t in annotate_triplets(papers, rules, n_triplets=10, seed=0):
+            assert len({t.anchor, t.positive, t.negative}) == 3
+
+    def test_huge_min_gap_errors(self, setup):
+        papers, rules = setup
+        with pytest.raises(ValueError):
+            annotate_triplets(papers, rules, n_triplets=5, min_gap=1e9, seed=0)
+
+
+class TestTwinHistory:
+    def test_history_lengths_match_epochs(self, setup):
+        papers, rules = setup
+        triplets = annotate_triplets(papers, rules, n_triplets=10, seed=0)
+        encoder = rules.encoder
+        encoded = {}
+        for p in papers:
+            H = encoder.encode(p.abstract)
+            labels = list(p.sentence_labels)[:H.shape[0]]
+            encoded[p.id] = (H[:len(labels)], labels)
+        net = SubspaceEmbeddingNetwork(in_dim=16, out_dim=8, rng=0)
+        trainer = TwinNetworkTrainer(net, epochs=3, seed=0)
+        history = trainer.train(triplets, encoded)
+        assert len(history.losses) == 3
+        assert len(history.violation_rates) == 3
+        assert all(0.0 <= v <= 1.0 for v in history.violation_rates)
+        assert all(np.isfinite(l) for l in history.losses)

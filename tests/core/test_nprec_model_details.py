@@ -1,0 +1,80 @@
+"""Detailed NPRecModel mechanics: gates, content block, induction."""
+
+import numpy as np
+import pytest
+
+from repro.core.nprec import NPRecModel
+from repro.data import load_acm
+from repro.graph import build_academic_network
+
+
+@pytest.fixture(scope="module")
+def graph_and_text():
+    corpus = load_acm(scale=0.2, seed=50)
+    train, new = corpus.split_by_year(2014)
+    everyone = train + new
+    graph = build_academic_network(corpus, papers=everyone,
+                                   citation_whitelist={p.id for p in train})
+    rng = np.random.default_rng(0)
+    text = {p.id: rng.normal(size=10) for p in everyone}
+    content = {p.id: np.abs(rng.normal(size=20)) for p in everyone}
+    return graph, text, content, train, new
+
+
+class TestBlocksAndGates:
+    def test_vector_width_with_content(self, graph_and_text):
+        graph, text, content, train, _ = graph_and_text
+        model = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1,
+                           content_vectors=content, seed=0)
+        vec = model.interest_vectors([train[0].id])
+        # shared text + view text + graph + trained-content (4 * dim)
+        # plus the raw lexical content block (20)
+        assert vec.shape == (1, 4 * 8 + 20)
+
+    def test_gate_scaling_applied(self, graph_and_text):
+        graph, text, content, train, _ = graph_and_text
+        small = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1,
+                           block_gates=(0.1, 0.1, 0.1, 0.0), seed=0)
+        large = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1,
+                           block_gates=(1.0, 1.0, 1.0, 0.0), seed=0)
+        v_small = small.interest_vectors([train[0].id]).data
+        v_large = large.interest_vectors([train[0].id]).data
+        np.testing.assert_allclose(v_small * 10.0, v_large, rtol=1e-6)
+
+    def test_content_rows_l2_normalised(self, graph_and_text):
+        graph, text, content, train, _ = graph_and_text
+        model = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1,
+                           content_vectors=content,
+                           block_gates=(0.0, 0.0, 0.0, 1.0, 0.0), seed=0)
+        matrix = model.content_matrix
+        idx = graph.index_of("paper", train[0].id)
+        assert np.linalg.norm(matrix[idx]) == pytest.approx(1.0)
+
+    def test_influence_citations_flag_changes_views(self, graph_and_text):
+        graph, text, content, train, _ = graph_and_text
+        cited = max(train, key=lambda p: len(graph.citing_papers(
+            graph.index_of("paper", p.id))))
+        meta_only = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1,
+                               influence_citations=False, seed=0)
+        with_cites = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1,
+                                influence_citations=True, seed=0)
+        a = meta_only.influence_vectors([cited.id]).data
+        b = with_cites.influence_vectors([cited.id]).data
+        assert not np.allclose(a, b)
+
+    def test_induct_new_papers_counts(self, graph_and_text):
+        graph, text, content, train, new = graph_and_text
+        model = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1, seed=0)
+        imputed = model.induct_new_papers([p.id for p in new[:10]])
+        assert imputed == sum(
+            1 for p in new[:10]
+            if graph.two_way_neighbors(graph.index_of("paper", p.id))
+        )
+
+    def test_deterministic_given_seed(self, graph_and_text):
+        graph, text, content, train, _ = graph_and_text
+        ids = [p.id for p in train[:4]]
+        a = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1, seed=7)
+        b = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1, seed=7)
+        np.testing.assert_allclose(a.interest_vectors(ids).data,
+                                   b.interest_vectors(ids).data)

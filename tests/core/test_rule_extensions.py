@@ -1,0 +1,79 @@
+"""Tests for the expert-rule extension point (Sec. III-B: the rule set
+"supports an increasing number of expert rules")."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import RULE_NAMES, ExpertRuleSet, venue_difference
+from repro.core.sem import SEMConfig, SubspaceEmbeddingMethod
+from repro.data import Paper, load_scopus
+from repro.text import SentenceEncoder
+
+
+@pytest.fixture(scope="module")
+def papers():
+    return load_scopus(scale=0.15, seed=10).papers[:40]
+
+
+class TestVenueRule:
+    def _paper(self, pid, venue):
+        return Paper(id=pid, title="t", abstract="A sentence.", year=2015,
+                     field="cs", venue=venue)
+
+    def test_same_venue_zero(self):
+        a = self._paper("a", "v1")
+        b = self._paper("b", "v1")
+        assert venue_difference(a, b) == 0.0
+
+    def test_different_venue_one(self):
+        assert venue_difference(self._paper("a", "v1"),
+                                self._paper("b", "v2")) == 1.0
+
+    def test_unknown_venue_half(self):
+        assert venue_difference(self._paper("a", None),
+                                self._paper("b", "v2")) == 0.5
+
+
+class TestExtraRules:
+    def test_rule_vector_grows(self, papers):
+        rules = ExpertRuleSet(SentenceEncoder(dim=16),
+                              extra_rules=[("venue", venue_difference)])
+        rules.fit(papers, n_pairs=20, seed=0)
+        assert rules.rule_count == len(RULE_NAMES) + 1
+        assert rules.rule_names[-1] == "venue"
+        vec = rules.normalized_vector(papers[0], papers[1], 0)
+        assert vec.shape == (rules.rule_count,)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertRuleSet(SentenceEncoder(dim=16),
+                          extra_rules=[("abstract", venue_difference)])
+
+    def test_weights_shape_follows_rules(self):
+        with pytest.raises(ValueError):
+            ExpertRuleSet(SentenceEncoder(dim=16),
+                          weights=np.ones(4) / 4,
+                          extra_rules=[("venue", venue_difference)])
+
+    def test_custom_callable_invoked(self, papers):
+        calls = []
+
+        def spy_rule(a, b):
+            calls.append((a.id, b.id))
+            return 1.0
+
+        rules = ExpertRuleSet(SentenceEncoder(dim=16),
+                              extra_rules=[("spy", spy_rule)])
+        rules.fit(papers[:5], n_pairs=3, seed=0)
+        assert calls
+
+    def test_sem_trains_with_extra_rule(self, papers):
+        sem = SubspaceEmbeddingMethod(
+            SEMConfig(n_triplets=10, epochs=1, seed=0),
+            extra_rules=[("venue", venue_difference)])
+        sem.fit(papers)
+        assert sem.rules.rule_count == 5
+        assert sem.rules.weights.shape == (5,)
+        assert sem.rules.weights.sum() == pytest.approx(1.0)
+        emb = sem.embed(papers[0])
+        assert np.isfinite(emb).all()

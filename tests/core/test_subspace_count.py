@@ -1,0 +1,45 @@
+"""Tests for adjustable subspace counts (Sec. III-C: "the number of the
+subspaces can be adjusted according to the characteristics of the
+academic field")."""
+
+import numpy as np
+import pytest
+
+from repro.core.sem import SEMConfig, SubspaceEmbeddingMethod
+from repro.data import load_scopus
+
+
+@pytest.fixture(scope="module")
+def papers():
+    return load_scopus(scale=0.15, seed=12).papers[:40]
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_sem_with_k_subspaces(papers, k):
+    config = SEMConfig(num_subspaces=k, n_triplets=10, epochs=1, seed=0)
+    sem = SubspaceEmbeddingMethod(config).fit(papers)
+    embedding = sem.embed(papers[0])
+    assert embedding.shape[0] == k
+    assert np.isfinite(embedding).all()
+    scores = sem.outlier_scores(papers, k - 1)
+    assert scores.shape == (len(papers),)
+
+
+def test_k2_ignores_extra_gold_labels(papers):
+    """With K=2, sentences tagged 'result' (label 2) belong to no
+    subspace; the pipeline must still train and embed."""
+    config = SEMConfig(num_subspaces=2, n_triplets=10, epochs=1, seed=0)
+    sem = SubspaceEmbeddingMethod(config).fit(papers)
+    matrix = sem.subspace_matrix(papers[:10], 0)
+    assert matrix.shape == (10, sem.embedding_dim)
+    with pytest.raises(ValueError):
+        sem.subspace_matrix(papers[:10], 2)
+
+
+def test_k4_has_empty_fourth_subspace(papers):
+    """Gold tags only use labels 0-2, so a 4th subspace sees no sentences
+    and embeds through the empty-subspace path for every paper."""
+    config = SEMConfig(num_subspaces=4, n_triplets=10, epochs=1, seed=0)
+    sem = SubspaceEmbeddingMethod(config).fit(papers)
+    fourth = sem.subspace_matrix(papers[:8], 3)
+    assert np.isfinite(fourth).all()

@@ -1,0 +1,84 @@
+"""Statistical sanity checks on generated corpora (scholarly realism)."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_acm, load_scopus
+
+
+@pytest.fixture(scope="module")
+def acm():
+    return load_acm(seed=15)
+
+
+class TestCitationGraphShape:
+    def test_in_degree_heavy_tailed(self, acm):
+        degrees = sorted((acm.in_degree(p.id) for p in acm), reverse=True)
+        degrees = np.array(degrees, dtype=float)
+        top_share = degrees[: len(degrees) // 10].sum() / max(degrees.sum(), 1)
+        # top 10% of papers should hold a disproportionate share of
+        # in-corpus citations (preferential attachment)
+        assert top_share > 0.25
+
+    def test_references_point_backwards(self, acm):
+        for paper in acm.papers[:100]:
+            for ref in paper.references:
+                assert acm.get_paper(ref).year <= paper.year
+
+    def test_citation_counts_exceed_in_degree(self, acm):
+        # total citations include external ones, so they dominate in-degree
+        total = sum(p.citation_count for p in acm)
+        internal = sum(acm.in_degree(p.id) for p in acm)
+        assert total >= internal
+
+
+class TestAuthorship:
+    def test_productivity_power_law(self, acm):
+        counts = sorted((len(acm.papers_of_author(a.id)) for a in acm.authors),
+                        reverse=True)
+        counts = np.array(counts, dtype=float)
+        assert counts[0] >= 4 * max(1.0, np.median(counts))
+
+    def test_coauthor_groups_recurrent(self, acm):
+        """Sticky collaboration: some author pair co-publishes repeatedly."""
+        pair_counts: dict[tuple[str, str], int] = {}
+        for paper in acm:
+            team = sorted(paper.authors)
+            for i, a in enumerate(team):
+                for b in team[i + 1:]:
+                    pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+        assert pair_counts
+        assert max(pair_counts.values()) >= 3
+
+    def test_author_topics_focused(self, acm):
+        """Prolific authors publish mostly in one leaf topic."""
+        focused = 0
+        prolific = 0
+        for author in acm.authors:
+            papers = acm.papers_of_author(author.id)
+            if len(papers) < 5:
+                continue
+            prolific += 1
+            topics = [p.category_path[-1] for p in papers]
+            modal_share = max(topics.count(t) for t in set(topics)) / len(topics)
+            focused += int(modal_share >= 0.5)
+        assert prolific > 0
+        assert focused / prolific > 0.7
+
+
+class TestTextShape:
+    def test_abstract_lengths_match_config(self):
+        scopus = load_scopus(seed=16)
+        from repro.text import split_sentences
+        lengths = [len(split_sentences(p.abstract)) for p in scopus]
+        assert 4.0 < np.mean(lengths) < 8.5  # config avg 5.92
+
+    def test_keyword_vocab_shared_within_topics(self, acm):
+        by_topic: dict[str, set] = {}
+        for paper in acm:
+            by_topic.setdefault(paper.category_path[-1], set()).update(paper.keywords)
+        # keyword pools are topic-scoped: global vocabulary is much larger
+        # than any per-topic vocabulary
+        sizes = [len(v) for v in by_topic.values()]
+        total = len({kw for v in by_topic.values() for kw in v})
+        assert total > 2 * max(sizes)

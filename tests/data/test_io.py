@@ -1,0 +1,58 @@
+"""Tests for corpus JSON persistence."""
+
+import pytest
+
+from repro.data import (
+    corpus_from_dict,
+    corpus_to_dict,
+    load_corpus,
+    load_scopus,
+    save_corpus,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_scopus(scale=0.15, seed=33)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_papers(self, corpus):
+        restored = corpus_from_dict(corpus_to_dict(corpus))
+        assert len(restored) == len(corpus)
+        original = corpus.papers[0]
+        copy = restored.get_paper(original.id)
+        assert copy.abstract == original.abstract
+        assert copy.references == original.references
+        assert copy.sentence_labels == original.sentence_labels
+        assert copy.citation_count == original.citation_count
+
+    def test_file_roundtrip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(corpus, path)
+        restored = load_corpus(path)
+        assert restored.name == corpus.name
+        assert len(restored.authors) == len(corpus.authors)
+        assert len(restored.venues) == len(corpus.venues)
+
+    def test_novelty_not_serialised(self, corpus):
+        """Planted ground truth stays out of the on-disk schema: real data
+        loaded through this path must not be expected to carry it."""
+        restored = corpus_from_dict(corpus_to_dict(corpus))
+        assert restored.papers[0].novelty == {}
+
+    def test_strict_validation_applies(self, corpus):
+        payload = corpus_to_dict(corpus)
+        payload["papers"][0]["references"] = ["ghost-id"]
+        with pytest.raises(DataError):
+            corpus_from_dict(payload, strict=True)
+        relaxed = corpus_from_dict(payload, strict=False)
+        assert len(relaxed) == len(corpus)
+
+    def test_split_still_works_after_reload(self, corpus, tmp_path):
+        path = tmp_path / "c.json"
+        save_corpus(corpus, path)
+        restored = load_corpus(path)
+        before, after = restored.split_by_year(2014)
+        assert len(before) + len(after) == len(restored)

@@ -1,0 +1,26 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig6" in out
+
+    def test_run_table3(self, capsys):
+        assert main(["table3", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "finished in" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["tableXX"])
+
+    def test_seed_flag_threads_through(self, capsys):
+        assert main(["table3", "--scale", "0.2", "--seed", "5"]) == 0
+        assert "acm" in capsys.readouterr().out

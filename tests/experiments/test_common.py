@@ -1,0 +1,60 @@
+"""Tests for the experiment registry and result tables."""
+
+import pytest
+
+from repro.experiments import available_experiments, render_results, run_experiment
+from repro.experiments.common import ResultTable
+
+
+class TestResultTable:
+    def test_add_row_validates_width(self):
+        table = ResultTable("t", ["A", "B"])
+        table.add_row("x", 1.0)
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_cell_lookup(self):
+        table = ResultTable("t", ["Model", "score"])
+        table.add_row("m1", 0.5)
+        assert table.cell("m1", "score") == 0.5
+        with pytest.raises(KeyError):
+            table.cell("m1", "nope")
+        with pytest.raises(KeyError):
+            table.cell("ghost", "score")
+
+    def test_column_values(self):
+        table = ResultTable("t", ["Model", "score"])
+        table.add_row("a", 1.0)
+        table.add_row("b", 2.0)
+        assert table.column_values("score") == [1.0, 2.0]
+
+    def test_render_contains_everything(self):
+        table = ResultTable("My Title", ["Model", "x"], notes="a note")
+        table.add_row("row1", 0.123456)
+        text = table.render()
+        assert "My Title" in text
+        assert "row1" in text
+        assert "0.123" in text
+        assert "a note" in text
+
+    def test_render_results_multiple(self):
+        t1 = ResultTable("One", ["A"])
+        t2 = ResultTable("Two", ["A"])
+        text = render_results([t1, t2])
+        assert "One" in text and "Two" in text
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table1", "table2", "table3", "table4", "table5",
+                    "table6", "table7", "table8", "fig2", "fig3", "fig5",
+                    "fig6"}
+        assert expected <= set(available_experiments())
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_table3_runs_quickly(self):
+        table = run_experiment("table3", scale=0.2)
+        assert table.cell("acm", "Paper/patent") > 0

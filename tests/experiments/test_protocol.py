@@ -1,0 +1,140 @@
+"""Tests for the recommendation evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import Recommender
+from repro.data import load_acm, load_patents
+from repro.experiments.protocol import (
+    build_recommendation_task,
+    evaluate_recommender,
+    split_task_by_month,
+    split_task_by_year,
+)
+
+
+class PerfectOracle(Recommender):
+    """Ranks the user's relevant papers first (cheats via novelty field)."""
+
+    name = "oracle"
+
+    def __init__(self, relevant_by_user=None):
+        self.relevant: set[str] = set()
+
+    def fit(self, corpus, train_papers, new_papers=()):
+        return self
+
+    def set_relevant(self, ids):
+        self.relevant = set(ids)
+
+    def rank(self, user_papers, candidates):
+        return sorted((c.id for c in candidates),
+                      key=lambda pid: pid not in self.relevant)
+
+
+class RandomRecommender(Recommender):
+    name = "random"
+
+    def fit(self, corpus, train_papers, new_papers=()):
+        self._rng = np.random.default_rng(0)
+        return self
+
+    def rank(self, user_papers, candidates):
+        ids = [c.id for c in candidates]
+        self._rng.shuffle(ids)
+        return ids
+
+
+@pytest.fixture(scope="module")
+def acm():
+    return load_acm(scale=0.3, seed=6)
+
+
+@pytest.fixture(scope="module")
+def task(acm):
+    return split_task_by_year(acm, 2014, n_users=10, candidate_size=30,
+                              min_prefix=15, seed=0)
+
+
+class TestTaskConstruction:
+    def test_users_have_history_and_relevants(self, task):
+        for user in task.users:
+            assert len(user.train_papers) >= 2
+            assert user.relevant_ids
+            assert all(p.year < 2014 for p in user.train_papers)
+
+    def test_relevants_inside_min_prefix(self, task):
+        for user in task.users:
+            prefix_ids = {p.id for p in user.candidate_set(15)}
+            assert user.relevant_ids <= prefix_ids
+
+    def test_candidates_are_new_papers(self, task):
+        new_ids = {p.id for p in task.new_papers}
+        for user in task.users:
+            assert {c.id for c in user.candidates} <= new_ids
+
+    def test_candidates_exclude_own_papers(self, task, acm):
+        for user in task.users:
+            for candidate in user.candidates:
+                assert user.author_id not in candidate.authors
+
+    def test_nested_candidate_sets(self, task):
+        for user in task.users:
+            assert user.candidate_set(10) == list(user.candidates[:10])
+        with pytest.raises(ValueError):
+            task.users[0].candidate_set(0)
+
+    def test_representative_papers_cap(self, acm):
+        task = split_task_by_year(acm, 2014, n_users=5, candidate_size=20,
+                                  min_prefix=10, representative_papers=3,
+                                  seed=0)
+        for user in task.users:
+            assert len(user.train_papers) == 3
+
+    def test_deterministic(self, acm):
+        a = split_task_by_year(acm, 2014, n_users=5, candidate_size=20, seed=3)
+        b = split_task_by_year(acm, 2014, n_users=5, candidate_size=20, seed=3)
+        assert [u.author_id for u in a.users] == [u.author_id for u in b.users]
+        assert [tuple(c.id for c in u.candidates) for u in a.users] == \
+            [tuple(c.id for c in u.candidates) for u in b.users]
+
+    def test_validation(self, acm):
+        train, new = acm.split_by_year(2014)
+        with pytest.raises(ValueError):
+            build_recommendation_task(acm, train, new, n_users=0)
+        with pytest.raises(ValueError):
+            build_recommendation_task(acm, train, new, candidate_size=1)
+        with pytest.raises(ValueError):
+            build_recommendation_task(acm, train, new, min_prefix=0)
+
+    def test_month_split(self):
+        corpus = load_patents(scale=0.5, seed=1)
+        task = split_task_by_month(corpus, 11, n_users=5, candidate_size=10,
+                                   min_prefix=10, seed=0)
+        for paper in task.train_papers:
+            assert paper.month < 11
+        for paper in task.new_papers:
+            assert paper.month >= 11
+
+
+class TestEvaluation:
+    def test_oracle_scores_one(self, task):
+        oracle = PerfectOracle()
+        metrics_per_user = []
+        from repro.analysis.metrics import ndcg_at_k
+        for user in task.users:
+            oracle.set_relevant(user.relevant_ids)
+            ranked = oracle.rank(list(user.train_papers), user.candidate_set(15))
+            metrics_per_user.append(
+                ndcg_at_k(ranked, set(user.relevant_ids), 15))
+        assert np.mean(metrics_per_user) == pytest.approx(1.0)
+
+    def test_random_below_oracle(self, task):
+        metrics = evaluate_recommender(RandomRecommender(), task, ks=(15,))
+        assert 0.0 < metrics["ndcg@15"] < 0.9
+        assert set(metrics) == {"ndcg@15", "mrr", "map"}
+
+    def test_metrics_monotone_in_k(self, task):
+        metrics = evaluate_recommender(RandomRecommender(), task, ks=(10, 30))
+        # bigger candidate pool -> harder task
+        assert metrics["ndcg@10"] >= metrics["ndcg@30"] - 0.05

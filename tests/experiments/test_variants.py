@@ -1,0 +1,61 @@
+"""Tests for ablation variant configuration and fig5 helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import _cosine_matrix, _top_neighbours
+from repro.experiments.table7 import VARIANTS, variant_config
+
+
+class TestVariantConfig:
+    def test_sc_disables_network(self):
+        config = variant_config("NPRec+SC", seed=0)
+        assert config.use_network is False
+        assert config.use_text is True
+
+    def test_sn_disables_text_and_content(self):
+        config = variant_config("NPRec+SN", seed=0)
+        assert config.use_text is False
+        assert config.use_content_similarity is False
+
+    def test_cn_uses_citation_sampling(self):
+        config = variant_config("NPRec+CN", seed=0)
+        assert config.strategy == "citation"
+        assert config.use_text and config.use_network
+
+    def test_full_model_defaults(self):
+        config = variant_config("NPRec", seed=3, neighbor_k=16, depth=3)
+        assert config.strategy == "defuzz"
+        assert config.neighbor_k == 16
+        assert config.depth == 3
+        assert config.seed == 3
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            variant_config("NPRec+XX", seed=0)
+
+    def test_variant_tuple_matches_paper(self):
+        assert VARIANTS == ("NPRec+SC", "NPRec+SN", "NPRec+CN", "NPRec")
+
+
+class TestFig5Helpers:
+    def test_cosine_matrix_diagonal_ones(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(6, 4))
+        sims = _cosine_matrix(matrix)
+        np.testing.assert_allclose(np.diag(sims), 1.0)
+        np.testing.assert_allclose(sims, sims.T)
+
+    def test_cosine_matrix_zero_rows_safe(self):
+        matrix = np.zeros((3, 4))
+        matrix[0] = [1, 0, 0, 0]
+        sims = _cosine_matrix(matrix)
+        assert np.isfinite(sims).all()
+
+    def test_top_neighbours_excludes_self(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(8, 5))
+        neighbours = _top_neighbours(matrix, 3)
+        for i, ns in enumerate(neighbours):
+            assert i not in ns
+            assert len(ns) == 3

@@ -1,0 +1,88 @@
+"""Property-based tests for neighbourhood sampling invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EntityKey, HeterogeneousGraph, sample_multi_hop, sample_neighbors
+
+
+def build_random_graph(n_papers: int, n_authors: int, edges: list[tuple[int, int]],
+                       authorship: list[tuple[int, int]]) -> HeterogeneousGraph:
+    graph = HeterogeneousGraph()
+    for i in range(n_papers):
+        graph.add_entity("paper", f"p{i}")
+    for j in range(n_authors):
+        graph.add_entity("author", f"a{j}")
+    for src, dst in edges:
+        if src != dst:
+            graph.add_edge("cites", EntityKey("paper", f"p{src}"),
+                           EntityKey("paper", f"p{dst}"))
+    for paper, author in authorship:
+        graph.add_edge("written_by", EntityKey("paper", f"p{paper}"),
+                       EntityKey("author", f"a{author}"))
+    return graph
+
+
+graph_strategy = st.builds(
+    build_random_graph,
+    n_papers=st.integers(2, 6),
+    n_authors=st.integers(1, 3),
+    edges=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=10),
+    authorship=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 2)), max_size=8),
+)
+
+
+def valid_graph(builder):
+    """Clamp random indices into range before building."""
+    return builder
+
+
+@given(
+    n_papers=st.integers(2, 6),
+    n_authors=st.integers(1, 3),
+    raw_edges=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=10),
+    raw_authorship=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 2)), max_size=8),
+    k=st.integers(1, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_sampled_neighbors_are_real_neighbors(n_papers, n_authors, raw_edges,
+                                              raw_authorship, k):
+    edges = [(a % n_papers, b % n_papers) for a, b in raw_edges]
+    authorship = [(p % n_papers, a % n_authors) for p, a in raw_authorship]
+    graph = build_random_graph(n_papers, n_authors, edges, authorship)
+    for index in range(graph.num_entities):
+        for view in ("interest", "influence", "two_way", "all"):
+            sampled = sample_neighbors(graph, index, k, view=view, rng=0)
+            if view == "interest":
+                allowed = set(graph.interest_neighbors(index))
+            elif view == "influence":
+                allowed = set(graph.influence_neighbors(index))
+            elif view == "two_way":
+                allowed = set(graph.two_way_neighbors(index))
+            else:
+                allowed = set(graph.all_neighbors(index))
+            assert set(sampled.tolist()) <= allowed
+            if allowed:
+                assert sampled.shape == (k,)
+            else:
+                assert sampled.size == 0
+
+
+@given(
+    n_papers=st.integers(2, 5),
+    raw_edges=st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=8),
+    k=st.integers(1, 3),
+    hops=st.integers(1, 3),
+)
+@settings(max_examples=30, deadline=None)
+def test_multi_hop_layer_sizes(n_papers, raw_edges, k, hops):
+    edges = [(a % n_papers, b % n_papers) for a, b in raw_edges]
+    graph = build_random_graph(n_papers, 1, edges, [(0, 0)])
+    layers = sample_multi_hop(graph, 0, k, hops, rng=0)
+    assert len(layers) == hops + 1
+    for h, layer in enumerate(layers):
+        assert layer.shape == (k**h,)
+        assert np.all(layer >= 0)
+        assert np.all(layer < graph.num_entities)

@@ -1,0 +1,61 @@
+"""Extra attention coverage: masked behaviour inside the subspace network."""
+
+import numpy as np
+import pytest
+
+from repro.core.subspace_model import SubspaceEmbeddingNetwork
+
+
+class TestMaskedAttention:
+    def test_other_subspace_sentences_do_not_leak_into_own_half(self):
+        """With context_weight=0, subspace k's embedding must not change
+        when a sentence of a different subspace changes."""
+        net = SubspaceEmbeddingNetwork(in_dim=12, hidden_dims=(16,), out_dim=6,
+                                       num_subspaces=3, context_weight=0.0,
+                                       rng=0)
+        rng = np.random.default_rng(0)
+        H = rng.normal(size=(4, 12))
+        labels = [0, 1, 1, 2]
+        base = net.embed(H, labels)
+        H2 = H.copy()
+        H2[3] = rng.normal(size=12)  # change the result sentence
+        changed = net.embed(H2, labels)
+        # own halves of background and method are identical
+        np.testing.assert_allclose(changed[0][:6], base[0][:6])
+        np.testing.assert_allclose(changed[1][:6], base[1][:6])
+        # result subspace must differ
+        assert not np.allclose(changed[2][:6], base[2][:6])
+
+    def test_context_weight_controls_cross_talk(self):
+        """With context_weight>0 the context half reacts to other
+        subspaces; with 0 it is exactly zero."""
+        rng = np.random.default_rng(1)
+        H = rng.normal(size=(3, 12))
+        labels = [0, 1, 2]
+        no_ctx = SubspaceEmbeddingNetwork(in_dim=12, out_dim=6, num_subspaces=3,
+                                          context_weight=0.0, rng=0)
+        out = no_ctx.embed(H, labels)
+        np.testing.assert_allclose(out[:, 6:], 0.0)
+        with_ctx = SubspaceEmbeddingNetwork(in_dim=12, out_dim=6,
+                                            num_subspaces=3,
+                                            context_weight=1.0, rng=0)
+        out2 = with_ctx.embed(H, labels)
+        assert np.abs(out2[:, 6:]).max() > 0
+
+    def test_single_subspace_network(self):
+        net = SubspaceEmbeddingNetwork(in_dim=12, out_dim=6, num_subspaces=1,
+                                       rng=0)
+        out = net.embed(np.random.default_rng(2).normal(size=(3, 12)), [0, 0, 0])
+        assert out.shape == (1, 12)
+        # K=1 has no "other" subspaces: context half must be zero
+        np.testing.assert_allclose(out[0, 6:], 0.0)
+
+    def test_gradients_reach_all_parameters(self):
+        net = SubspaceEmbeddingNetwork(in_dim=12, hidden_dims=(16,), out_dim=6,
+                                       num_subspaces=3, rng=0)
+        H = np.random.default_rng(3).normal(size=(4, 12))
+        outs = net(H, [0, 1, 2, 1])
+        total = outs[0].sum() + outs[1].sum() + outs[2].sum()
+        total.backward()
+        for name, param in net.named_parameters():
+            assert param.grad is not None, f"{name} received no gradient"

@@ -1,0 +1,105 @@
+"""Tests for the functional ops (softmax, normalisation, distances)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    cosine_similarity,
+    dot_rows,
+    dropout,
+    euclidean_distance,
+    l2_normalize,
+    log_softmax,
+    softmax,
+)
+from repro.nn.tensor import parameter
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        np.testing.assert_allclose(softmax(x).data.sum(axis=-1), 1.0)
+
+    def test_extreme_values_stable(self):
+        x = Tensor(np.array([1000.0, -1000.0, 0.0]))
+        out = softmax(x)
+        assert np.isfinite(out.data).all()
+        assert out.data[0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 5)))
+        np.testing.assert_allclose(log_softmax(x).data,
+                                   np.log(softmax(x).data), atol=1e-12)
+
+    def test_softmax_gradient_flows(self):
+        p = parameter(np.array([1.0, 2.0, 3.0]))
+        (softmax(p) * Tensor([1.0, 0.0, 0.0])).sum().backward()
+        assert p.grad is not None
+        # gradient of a softmax component sums to ~0 over inputs
+        assert abs(p.grad.sum()) < 1e-12
+
+
+class TestNormalisation:
+    def test_l2_normalize_unit_rows(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 3)))
+        norms = np.linalg.norm(l2_normalize(x).data, axis=-1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-6)
+
+    def test_l2_normalize_zero_row_safe(self):
+        x = Tensor(np.zeros((2, 3)))
+        out = l2_normalize(x)
+        assert np.isfinite(out.data).all()
+
+    def test_cosine_similarity_bounds(self):
+        a = Tensor(np.random.default_rng(3).normal(size=(6, 4)))
+        b = Tensor(np.random.default_rng(4).normal(size=(6, 4)))
+        sims = cosine_similarity(a, b).data
+        assert np.all(sims <= 1.0 + 1e-9)
+        assert np.all(sims >= -1.0 - 1e-9)
+
+    def test_cosine_self_is_one(self):
+        a = Tensor(np.random.default_rng(5).normal(size=(4, 3)))
+        np.testing.assert_allclose(cosine_similarity(a, a).data, 1.0, rtol=1e-6)
+
+
+class TestDistances:
+    def test_dot_rows(self):
+        a = Tensor(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        b = Tensor(np.array([[3.0, 4.0], [5.0, 6.0]]))
+        np.testing.assert_allclose(dot_rows(a, b).data, [11.0, 6.0])
+
+    def test_euclidean_matches_numpy(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.normal(size=(5, 3)), rng.normal(size=(5, 3))
+        expected = np.linalg.norm(a - b, axis=1)
+        np.testing.assert_allclose(
+            euclidean_distance(Tensor(a), Tensor(b)).data, expected, rtol=1e-6)
+
+    def test_euclidean_gradient_at_zero_safe(self):
+        p = parameter(np.ones((2, 3)))
+        q = Tensor(np.ones((2, 3)))
+        euclidean_distance(p, q).sum().backward()
+        assert np.isfinite(p.grad).all()
+
+
+class TestDropoutFunctional:
+    def test_rate_zero_identity(self):
+        x = Tensor(np.ones((3, 3)))
+        out = dropout(x, 0.0, np.random.default_rng(0), training=True)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_eval_identity(self):
+        x = Tensor(np.ones((3, 3)))
+        out = dropout(x, 0.9, np.random.default_rng(0), training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+    def test_expected_scale_preserved(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)

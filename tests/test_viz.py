@@ -1,0 +1,95 @@
+"""Tests for the SVG chart writer and the figure renderers."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz import grouped_bars_svg, save_svg, scatter_svg
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestScatter:
+    def test_well_formed_xml(self):
+        svg = scatter_svg([1, 2, 3], [4, 5, 6], title="t", x_label="x",
+                          y_label="y")
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_point_count(self):
+        svg = scatter_svg(np.arange(10), np.arange(10) ** 2)
+        root = parse(svg)
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(circles) == 10
+
+    def test_trend_line_rendered(self):
+        base = scatter_svg([0, 1, 2], [0, 1, 2])
+        with_trend = scatter_svg([0, 1, 2], [0, 1, 2], trend=(1.0, 0.0))
+        lines_base = parse(base).findall(".//{http://www.w3.org/2000/svg}line")
+        lines_trend = parse(with_trend).findall(
+            ".//{http://www.w3.org/2000/svg}line")
+        assert len(lines_trend) == len(lines_base) + 1
+
+    def test_group_colours(self):
+        svg = scatter_svg([1, 2, 3, 4], [1, 2, 3, 4], labels=[0, 0, 1, 1])
+        fills = {e.get("fill") for e in parse(svg).iter()
+                 if e.tag.endswith("circle")}
+        assert len(fills) == 2
+
+    def test_constant_values_safe(self):
+        svg = scatter_svg([1, 1, 1], [2, 2, 2])
+        assert "NaN" not in svg and "nan" not in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_svg([], [])
+        with pytest.raises(ValueError):
+            scatter_svg([1, 2], [1])
+
+    def test_title_escaped(self):
+        svg = scatter_svg([1, 2], [1, 2], title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+        parse(svg)  # still well-formed
+
+
+class TestBars:
+    def test_bar_count(self):
+        svg = grouped_bars_svg(["g1", "g2", "g3"],
+                               {"s1": [1, 2, 3], "s2": [3, 2, 1]})
+        rects = [e for e in parse(svg).iter() if e.tag.endswith("rect")]
+        # background + 6 bars + 2 legend swatches
+        assert len(rects) == 1 + 6 + 2
+
+    def test_heights_proportional(self):
+        svg = grouped_bars_svg(["a", "b"], {"s": [1.0, 2.0]})
+        rects = [e for e in parse(svg).iter() if e.tag.endswith("rect")]
+        bars = rects[1:3]
+        h1, h2 = float(bars[0].get("height")), float(bars[1].get("height"))
+        assert h2 == pytest.approx(2 * h1, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bars_svg(["a"], {})
+        with pytest.raises(ValueError):
+            grouped_bars_svg(["a", "b"], {"s": [1.0]})
+
+
+class TestSaveAndRenderers:
+    def test_save_svg(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        save_svg(scatter_svg([1, 2], [3, 4]), path)
+        assert path.read_text().startswith("<svg")
+
+    def test_fig2_renderer_end_to_end(self, tmp_path):
+        from repro.experiments.figures import render_fig2
+        paths = render_fig2(tmp_path, scale=0.25, seed=0)
+        assert len(paths) == 1
+        parse((tmp_path / "fig2.svg").read_text())
+
+    def test_figures_cli_single(self, tmp_path, capsys):
+        from repro.experiments.figures import main
+        assert main(["fig2", "--out", str(tmp_path), "--scale", "0.25"]) == 0
+        assert "fig2.svg" in capsys.readouterr().out

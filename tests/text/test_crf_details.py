@@ -1,0 +1,57 @@
+"""CRF internals: Viterbi correctness on hand-constructed potentials."""
+
+import numpy as np
+import pytest
+
+from repro.text.sequence_labeler import SequenceLabeler
+
+
+class TestViterbi:
+    def test_emission_only_argmax(self):
+        """With zero transitions Viterbi is per-position argmax."""
+        features = np.eye(3)
+        emission = np.array([[2.0, 0.0, 0.0],
+                             [0.0, 1.0, 0.0],
+                             [0.0, 0.0, 3.0]])
+        transition = np.zeros((3, 3))
+        path = SequenceLabeler._viterbi(features, emission, transition)
+        np.testing.assert_array_equal(path, [0, 1, 2])
+
+    def test_transition_overrides_weak_emission(self):
+        """A strong transition bonus flips a weakly preferred label."""
+        features = np.ones((2, 1))
+        # label 0 slightly preferred everywhere by emission
+        emission = np.array([[0.1], [0.0]])
+        # but staying in label 1 after label 1 is hugely rewarded, and
+        # moving 0->0 hugely penalised
+        transition = np.array([[-5.0, 0.0],
+                               [0.0, 5.0]])
+        path = SequenceLabeler._viterbi(features, emission, transition)
+        np.testing.assert_array_equal(path, [1, 1])
+
+    def test_single_sentence(self):
+        features = np.array([[1.0, 0.0]])
+        emission = np.array([[0.0, 1.0], [1.0, 0.0]])
+        transition = np.zeros((2, 2))
+        path = SequenceLabeler._viterbi(features, emission, transition)
+        assert path.shape == (1,)
+        assert path[0] == 1
+
+    def test_exhaustive_agreement_small_case(self):
+        """Viterbi equals brute-force argmax over all label sequences."""
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(4, 3))
+        emission = rng.normal(size=(2, 3))
+        transition = rng.normal(size=(2, 2))
+        scores = features @ emission.T
+
+        def total(path):
+            value = scores[0, path[0]]
+            for i in range(1, len(path)):
+                value += transition[path[i - 1], path[i]] + scores[i, path[i]]
+            return value
+
+        import itertools
+        best = max(itertools.product(range(2), repeat=4), key=total)
+        viterbi = SequenceLabeler._viterbi(features, emission, transition)
+        assert total(tuple(viterbi)) == pytest.approx(total(best))

@@ -1,0 +1,116 @@
+"""Tests for word vectors and the sentence encoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.text import HashWordVectors, SentenceEncoder, SvdWordVectors
+
+
+class TestHashWordVectors:
+    def test_deterministic(self):
+        a = HashWordVectors(dim=16).vector("transformer")
+        b = HashWordVectors(dim=16).vector("transformer")
+        np.testing.assert_array_equal(a, b)
+
+    def test_unit_norm(self):
+        vec = HashWordVectors(dim=32).vector("graph")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_distinct_words_nearly_orthogonal(self):
+        wv = HashWordVectors(dim=256)
+        sims = [
+            abs(float(wv.vector(f"word{i}") @ wv.vector(f"word{i + 1}")))
+            for i in range(20)
+        ]
+        assert max(sims) < 0.35
+
+    def test_salt_changes_family(self):
+        a = HashWordVectors(dim=16, salt="x").vector("cat")
+        b = HashWordVectors(dim=16, salt="y").vector("cat")
+        assert not np.allclose(a, b)
+
+    def test_vectors_shape_and_empty(self):
+        wv = HashWordVectors(dim=8)
+        assert wv.vectors(["a", "b"]).shape == (2, 8)
+        assert wv.vectors([]).shape == (0, 8)
+
+    def test_contains_everything(self):
+        assert "anything" in HashWordVectors()
+
+
+class TestSvdWordVectors:
+    DOCS = [
+        "deep neural networks learn representations".split(),
+        "deep neural models learn features".split(),
+        "graph neural networks learn structure".split(),
+        "stock market prices fall quickly".split(),
+        "stock market prices rise quickly".split(),
+    ] * 3
+
+    def test_cooccurring_words_similar(self):
+        wv = SvdWordVectors(dim=8, min_count=2).fit(self.DOCS)
+        sim_related = float(wv.vector("deep") @ wv.vector("neural"))
+        sim_unrelated = float(wv.vector("deep") @ wv.vector("market"))
+        assert sim_related > sim_unrelated
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            SvdWordVectors().vector("deep")
+
+    def test_oov_fallback_is_deterministic(self):
+        wv = SvdWordVectors(dim=8, min_count=2).fit(self.DOCS)
+        np.testing.assert_array_equal(wv.vector("zzz"), wv.vector("zzz"))
+        assert "zzz" not in wv
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            SvdWordVectors(min_count=2).fit([["once"]])
+
+    def test_pads_when_rank_below_dim(self):
+        wv = SvdWordVectors(dim=32, min_count=1).fit(self.DOCS[:2])
+        assert wv.vector("deep").shape == (32,)
+
+
+class TestSentenceEncoder:
+    def test_shape_and_determinism(self):
+        enc = SentenceEncoder(dim=32)
+        a = enc.encode_sentence("We propose a novel method for ranking.")
+        b = SentenceEncoder(dim=32).encode_sentence("We propose a novel method for ranking.")
+        assert a.shape == (32,)
+        np.testing.assert_array_equal(a, b)
+
+    def test_encode_matrix_per_sentence(self):
+        enc = SentenceEncoder(dim=16)
+        out = enc.encode("First sentence here. Second sentence there.")
+        assert out.shape == (2, 16)
+
+    def test_empty_text(self):
+        enc = SentenceEncoder(dim=16)
+        assert enc.encode("").shape == (0, 16)
+        np.testing.assert_array_equal(enc.encode_document(""), np.zeros(16))
+
+    def test_similar_sentences_closer_than_different(self):
+        enc = SentenceEncoder(dim=64)
+        a = enc.encode_sentence("graph neural networks for recommendation")
+        b = enc.encode_sentence("graph neural models for recommendation")
+        c = enc.encode_sentence("protein folding in mitochondrial cells")
+        assert np.linalg.norm(a - b) < np.linalg.norm(a - c)
+
+    def test_fit_frequencies_downweights_common_words(self):
+        texts = ["the cat sat"] * 50 + ["quantum entanglement observed"]
+        enc = SentenceEncoder(dim=64).fit_frequencies(texts)
+        with_rare = enc.encode_sentence("the quantum result")
+        base = SentenceEncoder(dim=64)
+        # after frequency fitting, "the" contributes less; vectors differ
+        assert not np.allclose(with_rare, base.encode_sentence("the quantum result"))
+
+    def test_document_pooling(self):
+        enc = SentenceEncoder(dim=16)
+        doc = enc.encode_document("One two three. Four five six.")
+        sentences = enc.encode("One two three. Four five six.")
+        np.testing.assert_allclose(doc, sentences.mean(axis=0))
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            SentenceEncoder(dim=0)

@@ -1,0 +1,60 @@
+"""Additional coverage: SVD word vectors and encoder interaction details."""
+
+import numpy as np
+import pytest
+
+from repro.text import SentenceEncoder, SvdWordVectors
+
+
+class TestSvdTraining:
+    DOCS = [
+        "alpha beta gamma delta".split(),
+        "alpha beta gamma epsilon".split(),
+        "alpha beta zeta eta".split(),
+        "omega psi chi phi".split(),
+        "omega psi chi upsilon".split(),
+        "omega psi tau sigma".split(),
+    ] * 4
+
+    def test_vectors_normalised(self):
+        wv = SvdWordVectors(dim=6, min_count=2).fit(self.DOCS)
+        for word in ("alpha", "omega", "beta"):
+            assert np.linalg.norm(wv.vector(word)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cluster_structure(self):
+        wv = SvdWordVectors(dim=6, min_count=2).fit(self.DOCS)
+        within = float(wv.vector("alpha") @ wv.vector("beta"))
+        across = float(wv.vector("alpha") @ wv.vector("omega"))
+        assert within > across
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SvdWordVectors(window=0)
+
+    def test_vectors_matrix_shape(self):
+        wv = SvdWordVectors(dim=6, min_count=2).fit(self.DOCS)
+        assert wv.vectors(["alpha", "zzz"]).shape == (2, 6)
+
+
+class TestEncoderDetails:
+    def test_max_words_truncation_changes_vector(self):
+        short = SentenceEncoder(dim=16, max_words=3)
+        full = SentenceEncoder(dim=16, max_words=30)
+        sentence = "one two three four five six seven eight"
+        a = short.encode_sentence(sentence)
+        b = full.encode_sentence(sentence)
+        assert not np.allclose(a, b)
+
+    def test_seed_changes_rotation(self):
+        a = SentenceEncoder(dim=16, seed=1).encode_sentence("graph networks")
+        b = SentenceEncoder(dim=16, seed=2).encode_sentence("graph networks")
+        assert not np.allclose(a, b)
+
+    def test_output_bounded_by_tanh(self):
+        enc = SentenceEncoder(dim=16)
+        vec = enc.encode_sentence("some words in a sentence here")
+        assert np.all(np.abs(vec) <= 1.0)
+
+    def test_fit_frequencies_returns_self(self):
+        enc = SentenceEncoder(dim=8)
+        assert enc.fit_frequencies(["a b c"]) is enc
