@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.base import Recommender
 from repro.baselines.content import TfIdfIndex
 from repro.baselines.neural import JTIERecommender
@@ -86,75 +87,82 @@ class NPRecRecommender(Recommender):
         if not train_papers:
             raise ValueError("no training papers")
 
-        # 1. Subspace text embeddings (capped subset keeps SEM affordable
-        #    on large corpora; embeddings are then produced for everyone).
-        sem_train = train_papers
-        if len(sem_train) > cfg.sem_train_cap:
-            picked = rng.choice(len(sem_train), size=cfg.sem_train_cap, replace=False)
-            sem_train = [sem_train[i] for i in picked]
-        self.sem = SubspaceEmbeddingMethod(cfg.sem).fit(sem_train)
+        with obs.trace("nprec.fit", train_papers=len(train_papers),
+                       new_papers=len(new_papers)):
+            # 1. Subspace text embeddings (capped subset keeps SEM affordable
+            #    on large corpora; embeddings are then produced for everyone).
+            sem_train = train_papers
+            if len(sem_train) > cfg.sem_train_cap:
+                picked = rng.choice(len(sem_train), size=cfg.sem_train_cap, replace=False)
+                sem_train = [sem_train[i] for i in picked]
+            with obs.trace("nprec.fit.sem", papers=len(sem_train)):
+                self.sem = SubspaceEmbeddingMethod(cfg.sem).fit(sem_train)
 
-        everyone = train_papers + new_papers
-        text_vectors: dict[str, np.ndarray] | None = None
-        if cfg.use_text:
-            fused = self.sem.fused_embeddings(everyone)
-            text_vectors = {p.id: fused[i] for i, p in enumerate(everyone)}
-        content_vectors: dict[str, np.ndarray] | None = None
-        if cfg.use_content_similarity and cfg.use_text:
-            tfidf = TfIdfIndex(max_features=3000).fit(train_papers)
-            content_vectors = {p.id: tfidf.transform(p) for p in everyone}
+            everyone = train_papers + new_papers
+            with obs.trace("nprec.fit.text_vectors"):
+                text_vectors: dict[str, np.ndarray] | None = None
+                if cfg.use_text:
+                    fused = self.sem.fused_embeddings(everyone)
+                    text_vectors = {p.id: fused[i] for i, p in enumerate(everyone)}
+                content_vectors: dict[str, np.ndarray] | None = None
+                if cfg.use_content_similarity and cfg.use_text:
+                    tfidf = TfIdfIndex(max_features=3000).fit(train_papers)
+                    content_vectors = {p.id: tfidf.transform(p) for p in everyone}
 
-        # 2. Heterogeneous network: metadata for everyone, citations only
-        #    among historical papers (new papers are citation cold-start).
-        train_ids = {p.id for p in train_papers}
-        graph = build_academic_network(corpus, papers=everyone,
-                                       citation_whitelist=train_ids)
+            # 2. Heterogeneous network: metadata for everyone, citations only
+            #    among historical papers (new papers are citation cold-start).
+            train_ids = {p.id for p in train_papers}
+            graph = build_academic_network(corpus, papers=everyone,
+                                           citation_whitelist=train_ids)
 
-        # 3. De-fuzzed training pairs (Sec. IV-C).
-        pairs = build_training_pairs(
-            train_papers, rules=self.sem.rules, negative_ratio=cfg.negative_ratio,
-            strategy=cfg.strategy, max_positives=cfg.max_positives,
-            threshold_quantile=cfg.defuzz_quantile,
-            seed=int(rng.integers(2**31)),
-        )
+            # 3. De-fuzzed training pairs (Sec. IV-C).
+            pairs = build_training_pairs(
+                train_papers, rules=self.sem.rules, negative_ratio=cfg.negative_ratio,
+                strategy=cfg.strategy, max_positives=cfg.max_positives,
+                threshold_quantile=cfg.defuzz_quantile,
+                seed=int(rng.integers(2**31)),
+            )
 
-        # 4. Asymmetric GCN (Sec. IV-A) + Eq. 23 optimisation.
-        self.model = NPRecModel(
-            graph, text_vectors, dim=cfg.dim, neighbor_k=cfg.neighbor_k,
-            depth=cfg.depth, use_text=cfg.use_text, use_network=cfg.use_network,
-            block_gates=cfg.block_gates, content_vectors=content_vectors,
-            seed=int(rng.integers(2**31)),
-        )
-        trainer = NPRecTrainer(self.model, lr=cfg.lr, reg=cfg.reg,
-                               epochs=cfg.epochs, batch_size=cfg.batch_size,
-                               seed=int(rng.integers(2**31)))
-        self.history_ = trainer.train(pairs)
-        self.model.induct_new_papers([p.id for p in new_papers])
-        self._train_by_id = {p.id: p for p in train_papers}
+            # 4. Asymmetric GCN (Sec. IV-A) + Eq. 23 optimisation.
+            self.model = NPRecModel(
+                graph, text_vectors, dim=cfg.dim, neighbor_k=cfg.neighbor_k,
+                depth=cfg.depth, use_text=cfg.use_text, use_network=cfg.use_network,
+                block_gates=cfg.block_gates, content_vectors=content_vectors,
+                seed=int(rng.integers(2**31)),
+            )
+            trainer = NPRecTrainer(self.model, lr=cfg.lr, reg=cfg.reg,
+                                   epochs=cfg.epochs, batch_size=cfg.batch_size,
+                                   seed=int(rng.integers(2**31)))
+            self.history_ = trainer.train(pairs)
+            self.model.induct_new_papers([p.id for p in new_papers])
+            self._train_by_id = {p.id: p for p in train_papers}
 
-        # 5. User-interest / paper-text correlation module (Sec. IV-E's
-        #    discussion: graph convolution alone "ignores the multi-level
-        #    correlation between user interests and the text of the
-        #    paper"). A supervised profile-vs-text metric is trained on
-        #    author-cites-paper pairs and blended into the final ranking.
-        self._profile_text = None
-        if cfg.profile_text_weight > 0:
-            self._profile_text = JTIERecommender(
-                seed=int(rng.integers(2**31)))
-            self._profile_text.fit(corpus, train_papers, new_papers)
+            # 5. User-interest / paper-text correlation module (Sec. IV-E's
+            #    discussion: graph convolution alone "ignores the multi-level
+            #    correlation between user interests and the text of the
+            #    paper"). A supervised profile-vs-text metric is trained on
+            #    author-cites-paper pairs and blended into the final ranking.
+            self._profile_text = None
+            if cfg.profile_text_weight > 0:
+                with obs.trace("nprec.fit.profile_text"):
+                    self._profile_text = JTIERecommender(
+                        seed=int(rng.integers(2**31)))
+                    self._profile_text.fit(corpus, train_papers, new_papers)
 
-        # 6. Potential influence of the new papers: their SEM subspace
-        #    difference (LOF outlier score) — the Sec. III finding that
-        #    difference predicts citations, applied as the influence side
-        #    of the Sec. IV-B relevance/influence balance.
-        self._novelty = {}
-        if new_papers and cfg.influence_weight > 0 and len(new_papers) >= 3:
-            totals = np.zeros(len(new_papers))
-            for k in range(cfg.sem.num_subspaces):
-                totals += self.sem.outlier_scores(
-                    new_papers, k, seed=int(rng.integers(2**31)))
-            totals /= cfg.sem.num_subspaces
-            self._novelty = {p.id: float(s) for p, s in zip(new_papers, totals)}
+            # 6. Potential influence of the new papers: their SEM subspace
+            #    difference (LOF outlier score) — the Sec. III finding that
+            #    difference predicts citations, applied as the influence side
+            #    of the Sec. IV-B relevance/influence balance.
+            self._novelty = {}
+            if new_papers and cfg.influence_weight > 0 and len(new_papers) >= 3:
+                with obs.trace("nprec.fit.novelty"):
+                    totals = np.zeros(len(new_papers))
+                    for k in range(cfg.sem.num_subspaces):
+                        totals += self.sem.outlier_scores(
+                            new_papers, k, seed=int(rng.integers(2**31)))
+                    totals /= cfg.sem.num_subspaces
+                    self._novelty = {p.id: float(s)
+                                     for p, s in zip(new_papers, totals)}
         return self
 
     def rank(self, user_papers: Sequence[Paper],
@@ -166,6 +174,14 @@ class NPRecRecommender(Recommender):
             raise ValueError("user has no representative papers")
         if not candidates:
             return []
+        with obs.trace("nprec.recommend.rank", user_papers=len(user_papers),
+                       candidates=len(candidates)):
+            obs.count("nprec.recommend.queries")
+            obs.observe("nprec.recommend.candidate_set_size", len(candidates))
+            return self._rank(user_papers, candidates)
+
+    def _rank(self, user_papers: Sequence[Paper],
+              candidates: Sequence[Paper]) -> list[str]:
         # Sec. IV-B: P_a is the user's *published or cited* papers. The
         # learned blocks (text + graph) stay on the user's own papers —
         # their interest view already aggregates citations — while the

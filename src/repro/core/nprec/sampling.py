@@ -16,8 +16,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.rules import ExpertRuleSet
 from repro.data.schema import Paper
+from repro.errors import ShapeError
 from repro.utils.rng import as_generator
 
 
@@ -35,6 +37,7 @@ def citation_positives(papers: Sequence[Paper]) -> list[TrainingPair]:
     included = {p.id for p in papers}
     pairs = [TrainingPair(p.id, ref, 1.0)
              for p in papers for ref in p.references if ref in included]
+    obs.count("nprec.sampling.positives", len(pairs))
     return pairs
 
 
@@ -57,6 +60,8 @@ def random_negatives(papers: Sequence[Paper], n_negatives: int,
         if cited.id in cited_by[citing.id]:
             continue
         negatives.append(TrainingPair(citing.id, cited.id, 0.0))
+    obs.count("nprec.sampling.candidates", attempts, strategy="citation")
+    obs.count("nprec.sampling.negatives", len(negatives), strategy="citation")
     return negatives
 
 
@@ -69,6 +74,12 @@ def defuzzed_negatives(papers: Sequence[Paper], rules: ExpertRuleSet,
     exceeds the corpus threshold in **all** subspaces. The threshold is
     the ``threshold_quantile`` quantile of fused scores over a calibration
     sample of random pairs, so it adapts to each corpus.
+
+    With observability enabled (``repro.obs``), the sampler records the
+    paper-critical funnel under ``nprec.sampling.*`` counters labelled
+    ``strategy="defuzz"`` — in particular ``dropped_ambiguous``, the
+    number of candidate pairs excluded because at least one of the K
+    subspaces judged them too similar (Sec. IV-C).
     """
     papers = list(papers)
     if len(papers) < 2:
@@ -85,20 +96,42 @@ def defuzzed_negatives(papers: Sequence[Paper], rules: ExpertRuleSet,
         i, j = rng.choice(len(papers), size=2, replace=False)
         calibration.append(rules.fused_scores(papers[i], papers[j]))
     thresholds = np.quantile(np.asarray(calibration), threshold_quantile, axis=0)
+    # The paper's Sec. IV de-fuzzing condition quantifies over *every*
+    # subspace, so there must be exactly one threshold per subspace.
+    if thresholds.shape != (rules.num_subspaces,):
+        raise ShapeError(
+            f"expected one de-fuzzing threshold per subspace "
+            f"(K={rules.num_subspaces}), got shape {thresholds.shape}"
+        )
 
     cited_by = {p.id: set(p.references) for p in papers}
     negatives: list[TrainingPair] = []
     attempts = 0
+    dropped_ambiguous = 0
+    skipped_cited = 0
     max_attempts = n_negatives * 40 + 200
     while len(negatives) < n_negatives and attempts < max_attempts:
         attempts += 1
         i, j = rng.choice(len(papers), size=2, replace=False)
         citing, cited = papers[i], papers[j]
         if cited.id in cited_by[citing.id]:
+            skipped_cited += 1
             continue
         scores = rules.fused_scores(citing, cited)
+        if scores.shape != thresholds.shape:
+            raise ShapeError(
+                f"fused_scores returned shape {scores.shape}; the de-fuzzing "
+                f"threshold must be applied in all {rules.num_subspaces} subspaces"
+            )
         if np.all(scores > thresholds):
             negatives.append(TrainingPair(citing.id, cited.id, 0.0))
+        else:
+            dropped_ambiguous += 1
+    obs.count("nprec.sampling.candidates", attempts, strategy="defuzz")
+    obs.count("nprec.sampling.negatives", len(negatives), strategy="defuzz")
+    obs.count("nprec.sampling.dropped_ambiguous", dropped_ambiguous,
+              strategy="defuzz")
+    obs.count("nprec.sampling.skipped_cited", skipped_cited, strategy="defuzz")
     return negatives
 
 
@@ -127,19 +160,23 @@ def build_training_pairs(papers: Sequence[Paper], rules: ExpertRuleSet | None = 
     if negative_ratio < 0:
         raise ValueError(f"negative_ratio must be >= 0, got {negative_ratio}")
     rng = as_generator(seed)
-    positives = citation_positives(papers)
-    if not positives:
-        raise ValueError("no citation pairs found among the given papers")
-    if max_positives is not None and len(positives) > max_positives:
-        picked = rng.choice(len(positives), size=max_positives, replace=False)
-        positives = [positives[i] for i in picked]
-    n_negatives = negative_ratio * len(positives)
-    if strategy == "defuzz":
-        if rules is None:
-            raise ValueError("defuzz strategy requires a fitted ExpertRuleSet")
-        negatives = defuzzed_negatives(papers, rules, n_negatives,
-                                       threshold_quantile=threshold_quantile,
-                                       seed=rng)
-    else:
-        negatives = random_negatives(papers, n_negatives, seed=rng)
+    with obs.trace("nprec.sampling.build", strategy=strategy,
+                   negative_ratio=negative_ratio) as span:
+        positives = citation_positives(papers)
+        if not positives:
+            raise ValueError("no citation pairs found among the given papers")
+        if max_positives is not None and len(positives) > max_positives:
+            picked = rng.choice(len(positives), size=max_positives, replace=False)
+            positives = [positives[i] for i in picked]
+        n_negatives = negative_ratio * len(positives)
+        if strategy == "defuzz":
+            if rules is None:
+                raise ValueError("defuzz strategy requires a fitted ExpertRuleSet")
+            negatives = defuzzed_negatives(papers, rules, n_negatives,
+                                           threshold_quantile=threshold_quantile,
+                                           seed=rng)
+        else:
+            negatives = random_negatives(papers, n_negatives, seed=rng)
+        span.set("positives", len(positives))
+        span.set("negatives", len(negatives))
     return positives + negatives

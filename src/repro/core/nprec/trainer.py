@@ -7,6 +7,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.nprec.model import NPRecModel
 from repro.core.nprec.sampling import TrainingPair
 from repro.nn import Adam, binary_cross_entropy_with_logits, l2_regularization
@@ -48,24 +49,34 @@ class NPRecTrainer:
         rng = as_generator(self._seed)
         history = NPRecTrainHistory()
         order = np.arange(len(pairs))
-        for _ in range(self.epochs):
-            rng.shuffle(order)
-            epoch_loss = 0.0
-            correct = 0
-            for start in range(0, len(order), self.batch_size):
-                batch = [pairs[i] for i in order[start:start + self.batch_size]]
-                citing = [p.citing for p in batch]
-                cited = [p.cited for p in batch]
-                labels = np.array([p.label for p in batch])
-                self.optimizer.zero_grad()
-                logits = self.model.score_pairs(citing, cited)
-                loss = binary_cross_entropy_with_logits(logits, labels)
-                if self.reg > 0:
-                    loss = loss + l2_regularization(self.optimizer.params, self.reg)
-                loss.backward()
-                self.optimizer.step()
-                epoch_loss += loss.item() * len(batch)
-                correct += int((((logits.data > 0).astype(float)) == labels).sum())
-            history.losses.append(epoch_loss / len(pairs))
-            history.accuracies.append(correct / len(pairs))
+        with obs.trace("nprec.train", epochs=self.epochs, pairs=len(pairs)):
+            for epoch in range(self.epochs):
+                rng.shuffle(order)
+                epoch_loss = 0.0
+                correct = 0
+                with obs.trace("nprec.train.epoch", epoch=epoch) as span:
+                    for start in range(0, len(order), self.batch_size):
+                        batch = [pairs[i] for i in order[start:start + self.batch_size]]
+                        citing = [p.citing for p in batch]
+                        cited = [p.cited for p in batch]
+                        labels = np.array([p.label for p in batch])
+                        self.optimizer.zero_grad()
+                        logits = self.model.score_pairs(citing, cited)
+                        loss = binary_cross_entropy_with_logits(logits, labels)
+                        if self.reg > 0:
+                            loss = loss + l2_regularization(self.optimizer.params, self.reg)
+                        loss.backward()
+                        self.optimizer.step()
+                        epoch_loss += loss.item() * len(batch)
+                        correct += int((((logits.data > 0).astype(float)) == labels).sum())
+                        obs.count("nprec.train.grad_steps")
+                    mean_loss = epoch_loss / len(pairs)
+                    accuracy = correct / len(pairs)
+                    span.set("loss", mean_loss)
+                    span.set("accuracy", accuracy)
+                obs.observe("nprec.train.epoch_loss", mean_loss)
+                obs.observe("nprec.train.epoch_accuracy", accuracy)
+                obs.observe("nprec.train.epoch_duration_seconds", span.duration)
+                history.losses.append(mean_loss)
+                history.accuracies.append(accuracy)
         return history

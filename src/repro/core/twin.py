@@ -20,6 +20,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.annotation import Triplet
 from repro.core.subspace_model import SubspaceEmbeddingNetwork
 from repro.nn import Adam, Tensor, l2_regularization, stack as tensor_stack
@@ -129,31 +130,44 @@ class TwinNetworkTrainer:
         rng = as_generator(self._seed)
         history = TrainHistory()
         order = np.arange(len(triplets))
-        for _ in range(self.epochs):
-            rng.shuffle(order)
-            epoch_loss = 0.0
-            violations = 0
-            for start in range(0, len(order), self.batch_size):
-                batch = [triplets[i] for i in order[start:start + self.batch_size]]
-                unique_ids = {t.anchor for t in batch} | {t.positive for t in batch} \
-                    | {t.negative for t in batch}
-                self.optimizer.zero_grad()
-                embeddings = self._embed_batch(unique_ids, encoded)
-                terms: list[Tensor] = []
-                for triplet in batch:
-                    d_pos, d_neg = self._triplet_distances(triplet, embeddings)
-                    # Eq. 14: positive pair must be farther by >= margin.
-                    terms.append((d_neg - d_pos + self.margin).clip_min(0.0))
-                    if d_pos.item() <= d_neg.item():
-                        violations += 1
-                loss = tensor_stack(terms).mean()
-                if self.reg > 0:
-                    loss = loss + l2_regularization(self.optimizer.params, self.reg)
-                loss.backward()
-                self.optimizer.step()
-                epoch_loss += loss.item() * len(batch)
-            history.losses.append(epoch_loss / len(triplets))
-            history.violation_rates.append(violations / len(triplets))
+        with obs.trace("sem.twin.train", epochs=self.epochs,
+                       triplets=len(triplets), distance=self.distance):
+            for epoch in range(self.epochs):
+                rng.shuffle(order)
+                epoch_loss = 0.0
+                violations = 0
+                with obs.trace("sem.twin.train.epoch", epoch=epoch) as span:
+                    for start in range(0, len(order), self.batch_size):
+                        batch = [triplets[i] for i in order[start:start + self.batch_size]]
+                        unique_ids = {t.anchor for t in batch} | {t.positive for t in batch} \
+                            | {t.negative for t in batch}
+                        self.optimizer.zero_grad()
+                        embeddings = self._embed_batch(unique_ids, encoded)
+                        terms: list[Tensor] = []
+                        for triplet in batch:
+                            d_pos, d_neg = self._triplet_distances(triplet, embeddings)
+                            # Eq. 14: positive pair must be farther by >= margin.
+                            terms.append((d_neg - d_pos + self.margin).clip_min(0.0))
+                            if d_pos.item() <= d_neg.item():
+                                violations += 1
+                        loss = tensor_stack(terms).mean()
+                        if self.reg > 0:
+                            loss = loss + l2_regularization(self.optimizer.params, self.reg)
+                        loss.backward()
+                        self.optimizer.step()
+                        epoch_loss += loss.item() * len(batch)
+                        obs.count("sem.twin.grad_steps")
+                    mean_loss = epoch_loss / len(triplets)
+                    # Rule agreement: triplets whose learned ordering matches
+                    # the expert-rule annotation (complement of violations).
+                    agreement = 1.0 - violations / len(triplets)
+                    span.set("hinge_loss", mean_loss)
+                    span.set("rule_agreement", agreement)
+                obs.observe("sem.twin.epoch_hinge_loss", mean_loss)
+                obs.observe("sem.twin.epoch_rule_agreement", agreement)
+                obs.observe("sem.twin.epoch_duration_seconds", span.duration)
+                history.losses.append(mean_loss)
+                history.violation_rates.append(violations / len(triplets))
         return history
 
     def violation_rate(self, triplets: Sequence[Triplet],

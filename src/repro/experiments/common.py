@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
+
 
 @dataclass
 class ResultTable:
@@ -46,7 +48,10 @@ class ResultTable:
 
     def column_values(self, column: str) -> list[object]:
         """All body values of one column."""
-        col = self.columns.index(column)
+        try:
+            col = self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"unknown column {column!r}") from None
         return [row[col] for row in self.rows]
 
     @staticmethod
@@ -99,7 +104,13 @@ def available_experiments() -> list[str]:
 
 
 def run_experiment(experiment_id: str, **kwargs) -> "ResultTable | list[ResultTable]":
-    """Run one registered experiment by id."""
+    """Run one registered experiment by id.
+
+    Every run is wrapped in an ``experiment.<id>`` span and its duration
+    is recorded under the ``experiment.duration_seconds`` histogram
+    (labelled by experiment id), so a captured trace pairs each
+    :class:`ResultTable` with the timing that produced it.
+    """
     from repro.experiments import _load_all
 
     _load_all()
@@ -107,7 +118,11 @@ def run_experiment(experiment_id: str, **kwargs) -> "ResultTable | list[ResultTa
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[experiment_id](**kwargs)
+    with obs.trace(f"experiment.{experiment_id}", **kwargs) as span:
+        result = EXPERIMENTS[experiment_id](**kwargs)
+    obs.observe("experiment.duration_seconds", span.duration,
+                experiment=experiment_id)
+    return result
 
 
 def render_results(result: "ResultTable | Sequence[ResultTable]") -> str:

@@ -8,11 +8,13 @@ without citation history (the cold-start condition NPRec addresses).
 
 from __future__ import annotations
 
+from collections import Counter as _TallyCounter
 from typing import Iterable
 
+from repro import obs
 from repro.data.corpus import Corpus
 from repro.data.schema import Paper
-from repro.graph.hetero import EntityKey, HeterogeneousGraph
+from repro.graph.hetero import ENTITY_TYPES, EntityKey, HeterogeneousGraph
 
 
 def build_academic_network(corpus: Corpus, papers: Iterable[Paper] | None = None,
@@ -38,36 +40,54 @@ def build_academic_network(corpus: Corpus, papers: Iterable[Paper] | None = None
     graph = HeterogeneousGraph()
     paper_list = list(papers) if papers is not None else corpus.papers
     included = {p.id for p in paper_list}
+    edge_tally: _TallyCounter[str] = _TallyCounter()
 
-    for paper in paper_list:
-        graph.add_entity("paper", paper.id)
-    for paper in paper_list:
-        paper_key = EntityKey("paper", paper.id)
-        for author_id in paper.authors:
-            graph.add_entity("author", author_id)
-            graph.add_edge("written_by", paper_key, EntityKey("author", author_id))
-            author = corpus.get_author(author_id) if corpus.authors else None
-            if author is not None and author.affiliation:
-                graph.add_entity("affiliation", author.affiliation)
-                graph.add_edge("affiliated_with", EntityKey("author", author_id),
-                               EntityKey("affiliation", author.affiliation))
-        if paper.venue is not None:
-            graph.add_entity("venue", paper.venue)
-            graph.add_edge("published_in", paper_key, EntityKey("venue", paper.venue))
-        year_id = str(paper.year)
-        graph.add_entity("year", year_id)
-        graph.add_edge("published_year", paper_key, EntityKey("year", year_id))
-        for keyword in paper.keywords:
-            graph.add_entity("keyword", keyword)
-            graph.add_edge("has_keyword", paper_key, EntityKey("keyword", keyword))
-        if paper.category_path:
-            leaf = paper.category_path[-1]
-            graph.add_entity("category", leaf)
-            graph.add_edge("classified_as", paper_key, EntityKey("category", leaf))
-        if include_citations:
-            allowed = citation_whitelist is None or paper.id in citation_whitelist
-            for ref in paper.references:
-                if ref in included and allowed and (
-                        citation_whitelist is None or ref in citation_whitelist):
-                    graph.add_edge("cites", paper_key, EntityKey("paper", ref))
+    with obs.trace("graph.build", papers=len(paper_list),
+                   include_citations=include_citations) as span:
+        for paper in paper_list:
+            graph.add_entity("paper", paper.id)
+        for paper in paper_list:
+            paper_key = EntityKey("paper", paper.id)
+            for author_id in paper.authors:
+                graph.add_entity("author", author_id)
+                graph.add_edge("written_by", paper_key, EntityKey("author", author_id))
+                edge_tally["written_by"] += 1
+                author = corpus.get_author(author_id) if corpus.authors else None
+                if author is not None and author.affiliation:
+                    graph.add_entity("affiliation", author.affiliation)
+                    graph.add_edge("affiliated_with", EntityKey("author", author_id),
+                                   EntityKey("affiliation", author.affiliation))
+                    edge_tally["affiliated_with"] += 1
+            if paper.venue is not None:
+                graph.add_entity("venue", paper.venue)
+                graph.add_edge("published_in", paper_key, EntityKey("venue", paper.venue))
+                edge_tally["published_in"] += 1
+            year_id = str(paper.year)
+            graph.add_entity("year", year_id)
+            graph.add_edge("published_year", paper_key, EntityKey("year", year_id))
+            edge_tally["published_year"] += 1
+            for keyword in paper.keywords:
+                graph.add_entity("keyword", keyword)
+                graph.add_edge("has_keyword", paper_key, EntityKey("keyword", keyword))
+                edge_tally["has_keyword"] += 1
+            if paper.category_path:
+                leaf = paper.category_path[-1]
+                graph.add_entity("category", leaf)
+                graph.add_edge("classified_as", paper_key, EntityKey("category", leaf))
+                edge_tally["classified_as"] += 1
+            if include_citations:
+                allowed = citation_whitelist is None or paper.id in citation_whitelist
+                for ref in paper.references:
+                    if ref in included and allowed and (
+                            citation_whitelist is None or ref in citation_whitelist):
+                        graph.add_edge("cites", paper_key, EntityKey("paper", ref))
+                        edge_tally["cites"] += 1
+        span.set("entities", graph.num_entities)
+        span.set("edges", graph.num_edges)
+        if obs.is_enabled():
+            for entity_type in ENTITY_TYPES:
+                obs.gauge("graph.nodes", len(graph.entities_of_type(entity_type)),
+                          type=entity_type)
+            for relation, n_edges in edge_tally.items():
+                obs.gauge("graph.edges", n_edges, relation=relation)
     return graph

@@ -1,0 +1,176 @@
+"""repro.obs — tracing, metrics, and training telemetry.
+
+Observability for the SEM -> NPRec pipeline. Off by default; when off,
+every helper here is a cheap no-op (one attribute read, no allocation),
+so the instrumented hot paths in the trainers, the de-fuzzing sampler,
+the graph builder, and the recommender cost nothing measurable.
+
+Typical capture::
+
+    from repro import obs
+
+    obs.configure(enabled=True, reset=True)
+    recommender.fit(corpus, train, new)          # instrumented internally
+    print(obs.console_summary())                 # human summary
+    obs.write_jsonl("results/obs/run.jsonl")     # machine-readable capture
+
+and later ``python -m repro.obs report results/obs/run.jsonl``.
+
+Instrumenting code::
+
+    with obs.trace("my.stage", size=len(items)) as span:
+        ...
+        span.set("hits", hits)
+    obs.count("my.dropped", n_dropped, reason="threshold")
+    obs.gauge("my.queue_depth", depth)
+    obs.observe("my.latency_seconds", seconds)
+
+The metric/span name vocabulary used by the library itself is documented
+in ``docs/API.md`` (section "repro.obs").
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, TypeVar
+
+from repro.obs import config as _config
+from repro.obs.config import (
+    ObsState,
+    configure,
+    get_registry,
+    get_tracer,
+    is_enabled,
+)
+from repro.obs.emitters import (
+    console_summary,
+    events,
+    prometheus_text,
+    read_jsonl,
+    render_report,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import SpanRecord, SpanStats, Tracer
+
+__all__ = [
+    "configure", "is_enabled", "get_registry", "get_tracer", "ObsState",
+    "trace", "traced", "count", "gauge", "observe",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "Tracer", "SpanRecord", "SpanStats",
+    "write_jsonl", "read_jsonl", "events", "prometheus_text",
+    "console_summary", "render_report",
+]
+
+
+class _NoopSpan:
+    """Inert span handed out while observability is disabled."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    duration = 0.0
+    attrs: dict[str, object] = {}
+
+    def set(self, key: str, value: object) -> None:
+        """No-op."""
+
+
+class _NoopContext:
+    """Inert, reentrant context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+#: Shared singletons: ``trace`` returns the *same* object on every
+#: disabled call, so the fast path allocates nothing.
+NOOP_SPAN = _NoopSpan()
+NOOP_CONTEXT = _NoopContext()
+
+
+class _SpanContext:
+    """Live context manager binding one span to the global tracer."""
+
+    __slots__ = ("_name", "_attrs", "_record")
+
+    def __init__(self, name: str, attrs: dict[str, object]) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._record: SpanRecord | None = None
+
+    def __enter__(self) -> SpanRecord:
+        self._record = _config._STATE.tracer.start(self._name, self._attrs)
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._record is not None
+        if exc_type is not None:
+            self._record.attrs["error"] = exc_type.__name__
+        _config._STATE.tracer.finish(self._record)
+        return False
+
+
+def trace(name: str, **attrs: object) -> _SpanContext | _NoopContext:
+    """Context manager timing one named region (a *span*).
+
+    Spans nest: a ``trace`` opened inside another becomes its child in
+    the capture. The yielded span supports ``.set(key, value)`` for
+    attaching attributes mid-flight. When observability is disabled this
+    returns a shared no-op context and records nothing.
+    """
+    if not _config._STATE.enabled:
+        return NOOP_CONTEXT
+    return _SpanContext(name, attrs)
+
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def traced(name: str | None = None, **attrs: object) -> Callable[[_F], _F]:
+    """Decorator form of :func:`trace`; defaults to the function's qualname."""
+
+    def deco(fn: _F) -> _F:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _config._STATE.enabled:
+                return fn(*args, **kwargs)
+            with trace(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco
+
+
+def count(name: str, amount: float = 1.0, **labels: str) -> None:
+    """Increment the counter *name* (+labels) by *amount*; no-op when off."""
+    state = _config._STATE
+    if state.enabled:
+        state.registry.counter(name, **labels).inc(amount)
+
+
+def gauge(name: str, value: float, **labels: str) -> None:
+    """Set the gauge *name* (+labels) to *value*; no-op when off."""
+    state = _config._STATE
+    if state.enabled:
+        state.registry.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels: str) -> None:
+    """Record *value* into the histogram *name* (+labels); no-op when off."""
+    state = _config._STATE
+    if state.enabled:
+        state.registry.histogram(name, **labels).observe(value)

@@ -1,0 +1,43 @@
+"""CLI: ``python -m repro.obs report <capture.jsonl> [...]``.
+
+Pretty-prints captures written by :func:`repro.obs.write_jsonl` (directly
+or through the benchmark suite's ``REPRO_OBS=1`` hook).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.obs.emitters import read_jsonl, render_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and render the requested capture(s)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect observability captures (JSON lines).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="pretty-print one or more captures")
+    report.add_argument("files", nargs="+", type=pathlib.Path,
+                        help="capture file(s) written by repro.obs.write_jsonl")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.files:
+        if len(args.files) > 1:
+            print(f"== {path} ==")
+        try:
+            print(render_report(read_jsonl(path)))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+        if len(args.files) > 1:
+            print()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Process-wide observability state.
+
+A single :class:`ObsState` holds the enabled flag, the metrics registry,
+and the tracer. Observability is **off by default**: every instrumented
+call site checks ``state.enabled`` first and returns immediately when it
+is false, so the instrumentation costs one attribute read on the cold
+path. :func:`configure` flips the flag and optionally resets the stores
+between captured runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+@dataclass
+class ObsState:
+    """The mutable observability singleton (one per process)."""
+
+    enabled: bool
+    registry: MetricsRegistry
+    tracer: Tracer
+
+
+_STATE = ObsState(enabled=False, registry=MetricsRegistry(), tracer=Tracer())
+
+
+def configure(enabled: bool | None = None, *, reset: bool = False) -> ObsState:
+    """Adjust the global observability state; returns it.
+
+    Parameters
+    ----------
+    enabled:
+        ``True`` turns instrumentation on, ``False`` off; ``None`` leaves
+        the flag unchanged (useful with ``reset=True``).
+    reset:
+        Clear all recorded metrics and spans first (fails if a span is
+        still open — that indicates a leaked ``trace`` context).
+    """
+    if reset:
+        _STATE.tracer.reset()
+        _STATE.registry.reset()
+    if enabled is not None:
+        _STATE.enabled = bool(enabled)
+    return _STATE
+
+
+def is_enabled() -> bool:
+    """Whether instrumented call sites currently record anything."""
+    return _STATE.enabled
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _STATE.registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _STATE.tracer

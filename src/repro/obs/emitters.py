@@ -1,0 +1,205 @@
+"""Exporters for captured observability data.
+
+Three output formats, all derived from the same registry + tracer pair:
+
+- :func:`write_jsonl` / :func:`read_jsonl` — one JSON object per line
+  (a ``meta`` header, then spans in start order, then metric snapshots);
+  the capture format consumed by ``python -m repro.obs report``.
+- :func:`prometheus_text` — the Prometheus text exposition format, for
+  scraping or diffing against a golden file.
+- :func:`console_summary` — a fixed-width human summary (span aggregates
+  plus metric values).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import re
+
+from repro.obs import config
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Map a dotted metric name to a legal Prometheus metric name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _escape_label(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(f'{_NAME_RE.sub("_", k)}="{_escape_label(v)}"'
+                     for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value)) if value % 1 else str(int(value))
+
+
+def prometheus_text(registry: MetricsRegistry | None = None) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    registry = registry if registry is not None else config.get_registry()
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for metric in registry.collect():
+        name = _prom_name(metric.name)
+        if name not in seen_types:
+            lines.append(f"# TYPE {name} {metric.kind}")
+            seen_types.add(name)
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{name}{_prom_labels(metric.labels)} "
+                         f"{_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            # bucket_counts are already cumulative (Prometheus `le` style).
+            for bound, count in zip(metric.buckets, metric.bucket_counts):
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(metric.labels, {'le': _prom_value(bound)})}"
+                    f" {count}")
+            lines.append(f"{name}_bucket"
+                         f"{_prom_labels(metric.labels, {'le': '+Inf'})}"
+                         f" {metric.count}")
+            lines.append(f"{name}_sum{_prom_labels(metric.labels)} "
+                         f"{_prom_value(metric.sum)}")
+            lines.append(f"{name}_count{_prom_labels(metric.labels)} "
+                         f"{metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def events(registry: MetricsRegistry | None = None,
+           tracer: Tracer | None = None,
+           meta: dict[str, object] | None = None) -> list[dict[str, object]]:
+    """The capture as a list of JSON-ready event dicts."""
+    registry = registry if registry is not None else config.get_registry()
+    tracer = tracer if tracer is not None else config.get_tracer()
+    header: dict[str, object] = {
+        "type": "meta",
+        "epoch_wall": tracer.epoch_wall,
+        "spans": len(tracer.spans),
+        "metrics": len(registry),
+    }
+    if meta:
+        header.update(meta)
+    out: list[dict[str, object]] = [header]
+    out.extend(span.snapshot() for span in tracer.ordered())
+    out.extend(registry.snapshot())
+    return out
+
+
+def write_jsonl(path: str | pathlib.Path,
+                registry: MetricsRegistry | None = None,
+                tracer: Tracer | None = None,
+                meta: dict[str, object] | None = None) -> pathlib.Path:
+    """Write the capture to *path* as JSON lines; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(event, sort_keys=True)
+             for event in events(registry, tracer, meta)]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[dict[str, object]]:
+    """Parse a capture written by :func:`write_jsonl`."""
+    out = []
+    for i, line in enumerate(pathlib.Path(path).read_text().splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i + 1}: not valid JSON: {exc}") from None
+    return out
+
+
+# ----------------------------------------------------------------------
+# Human rendering
+# ----------------------------------------------------------------------
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def _metric_line(event: dict[str, object]) -> str:
+    labels = event.get("labels") or {}
+    label_str = ("{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                 + "}") if labels else ""
+    name = f"{event['name']}{label_str}"
+    if event["kind"] == "histogram":
+        count = event["count"]
+        mean = (event["sum"] / count) if count else 0.0
+        return (f"  {name}  count={count} mean={mean:.4g} "
+                f"min={event['min']} max={event['max']}")
+    return f"  {name}  {event['value']:g}"
+
+
+def render_report(captured: list[dict[str, object]]) -> str:
+    """Pretty-print a parsed JSONL capture: span tree + metric list."""
+    spans = [e for e in captured if e.get("type") == "span"]
+    metrics = [e for e in captured if e.get("type") == "metric"]
+    lines: list[str] = []
+    if spans:
+        lines.append("Trace")
+        lines.append("-----")
+        for span in sorted(spans, key=lambda s: s["index"]):
+            indent = "  " * int(span["depth"])
+            attrs = span.get("attrs") or {}
+            attr_str = (" [" + ", ".join(f"{k}={v}" for k, v in attrs.items())
+                        + "]") if attrs else ""
+            lines.append(f"{indent}{span['name']}  "
+                         f"{_format_seconds(float(span['duration']))}{attr_str}")
+        # Per-name aggregate mirrors Tracer.aggregate for offline captures.
+        grouped: dict[str, list[float]] = {}
+        for span in spans:
+            grouped.setdefault(str(span["name"]), []).append(float(span["duration"]))
+        lines.append("")
+        lines.append("Span totals")
+        lines.append("-----------")
+        width = max(len(n) for n in grouped)
+        for name in sorted(grouped):
+            durations = grouped[name]
+            lines.append(
+                f"  {name.ljust(width)}  calls={len(durations):<5d} "
+                f"total={_format_seconds(sum(durations)):>9s} "
+                f"mean={_format_seconds(sum(durations) / len(durations)):>9s} "
+                f"max={_format_seconds(max(durations)):>9s}")
+    if metrics:
+        if lines:
+            lines.append("")
+        lines.append("Metrics")
+        lines.append("-------")
+        lines.extend(_metric_line(m) for m in metrics)
+    if not lines:
+        lines.append("(empty capture: no spans, no metrics)")
+    return "\n".join(lines)
+
+
+def console_summary(registry: MetricsRegistry | None = None,
+                    tracer: Tracer | None = None) -> str:
+    """Human summary of the live in-process capture."""
+    return render_report(events(registry, tracer)[1:])

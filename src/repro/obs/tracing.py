@@ -1,0 +1,139 @@
+"""Span-based wall-clock tracer.
+
+A :class:`Tracer` records a flat list of finished :class:`SpanRecord`
+objects, each carrying its start offset (relative to the tracer's epoch),
+duration, nesting depth, and the index of its parent span, so emitters can
+rebuild the call tree without the tracer holding one. Spans nest through
+an explicit stack; the module is deliberately single-threaded — the whole
+pipeline is — which keeps ``start``/``finish`` to a few attribute writes.
+
+Call sites normally go through :func:`repro.obs.trace`, which routes to
+the tracer only when observability is enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or in-flight) traced region.
+
+    ``start`` is seconds since the owning tracer's epoch; ``duration`` is
+    0.0 until the span finishes. ``parent`` is the ``index`` of the
+    enclosing span, or ``None`` for roots.
+    """
+
+    name: str
+    start: float
+    index: int
+    depth: int = 0
+    parent: int | None = None
+    duration: float = 0.0
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute (e.g. ``span.set("epoch", 3)``)."""
+        self.attrs[key] = value
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready dump of this span."""
+        return {
+            "type": "span", "name": self.name, "index": self.index,
+            "parent": self.parent, "depth": self.depth,
+            "start": self.start, "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate over every span sharing one name."""
+
+    name: str
+    calls: int
+    total: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        """Mean duration in seconds."""
+        return self.total / self.calls if self.calls else 0.0
+
+
+class Tracer:
+    """Collects spans for one observability session."""
+
+    def __init__(self) -> None:
+        self.epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self._stack: list[SpanRecord] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def start(self, name: str, attrs: dict[str, object] | None = None) -> SpanRecord:
+        """Open a span nested under the currently open one (if any)."""
+        record = SpanRecord(
+            name=name,
+            start=time.perf_counter() - self._epoch_perf,
+            index=self._counter,
+            depth=len(self._stack),
+            parent=self._stack[-1].index if self._stack else None,
+            attrs=dict(attrs or {}),
+        )
+        self._counter += 1
+        self._stack.append(record)
+        return record
+
+    def finish(self, record: SpanRecord) -> SpanRecord:
+        """Close *record*; it must be the innermost open span."""
+        if not self._stack or self._stack[-1] is not record:
+            raise RuntimeError(
+                f"span nesting violated: finishing {record.name!r} but the "
+                f"innermost open span is "
+                f"{self._stack[-1].name if self._stack else None!r}"
+            )
+        self._stack.pop()
+        record.duration = time.perf_counter() - self._epoch_perf - record.start
+        self.spans.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def ordered(self) -> list[SpanRecord]:
+        """Finished spans in start order (``spans`` is finish order)."""
+        return sorted(self.spans, key=lambda s: s.index)
+
+    def aggregate(self) -> dict[str, SpanStats]:
+        """Per-name call counts and duration statistics, name-sorted."""
+        grouped: dict[str, list[SpanRecord]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.name, []).append(span)
+        return {
+            name: SpanStats(
+                name=name,
+                calls=len(records),
+                total=sum(r.duration for r in records),
+                min=min(r.duration for r in records),
+                max=max(r.duration for r in records),
+            )
+            for name, records in sorted(grouped.items())
+        }
+
+    def reset(self) -> None:
+        """Drop all finished spans and restart the epoch."""
+        if self._stack:
+            raise RuntimeError(
+                f"cannot reset tracer with {len(self._stack)} open span(s)")
+        self.spans.clear()
+        self._counter = 0
+        self.epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()

@@ -8,12 +8,16 @@ global numpy RNG, keeping all experiments reproducible end to end.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-SeedLike = "int | np.random.Generator | None"
+#: Anything accepted as a seed: an int, a ready generator, or ``None``
+#: for a fresh nondeterministic stream.
+SeedLike: TypeAlias = int | np.random.Generator | None
 
 
-def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+def as_generator(seed: SeedLike) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for *seed*.
 
     ``None`` yields a fresh nondeterministic generator, an ``int`` yields a
@@ -25,7 +29,7 @@ def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Split *seed* into *count* independent child generators.
 
     Children are derived through ``Generator.spawn`` so that streams are
@@ -44,7 +48,7 @@ class RngMixin:
     pickling/config round-trips stay cheap.
     """
 
-    _seed: int | np.random.Generator | None = None
+    _seed: SeedLike = None
     _rng: np.random.Generator | None = None
 
     @property
@@ -54,7 +58,7 @@ class RngMixin:
             self._rng = as_generator(self._seed)
         return self._rng
 
-    def reseed(self, seed: int | np.random.Generator | None) -> None:
+    def reseed(self, seed: SeedLike) -> None:
         """Replace the generator, e.g. between repeated experiment runs."""
         self._seed = seed
         self._rng = None

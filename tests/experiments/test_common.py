@@ -10,16 +10,20 @@ class TestResultTable:
     def test_add_row_validates_width(self):
         table = ResultTable("t", ["A", "B"])
         table.add_row("x", 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="1 cells but table has 2 columns"):
             table.add_row("only-one")
+        with pytest.raises(ValueError, match="3 cells but table has 2 columns"):
+            table.add_row("x", 1.0, 2.0)
+        # A rejected row must not be partially appended.
+        assert table.rows == [["x", 1.0]]
 
     def test_cell_lookup(self):
         table = ResultTable("t", ["Model", "score"])
         table.add_row("m1", 0.5)
         assert table.cell("m1", "score") == 0.5
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError, match="unknown column 'nope'"):
             table.cell("m1", "nope")
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError, match="unknown row 'ghost'"):
             table.cell("ghost", "score")
 
     def test_column_values(self):
@@ -27,6 +31,15 @@ class TestResultTable:
         table.add_row("a", 1.0)
         table.add_row("b", 2.0)
         assert table.column_values("score") == [1.0, 2.0]
+
+    def test_column_values_unknown_column(self):
+        table = ResultTable("t", ["Model", "score"])
+        table.add_row("a", 1.0)
+        with pytest.raises(KeyError, match="unknown column 'nope'"):
+            table.column_values("nope")
+
+    def test_column_values_empty_table(self):
+        assert ResultTable("t", ["Model", "score"]).column_values("score") == []
 
     def test_render_contains_everything(self):
         table = ResultTable("My Title", ["Model", "x"], notes="a note")

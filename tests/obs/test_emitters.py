@@ -1,0 +1,120 @@
+"""Tests for the JSONL / Prometheus / console emitters and the report CLI."""
+
+import pytest
+
+from repro import obs
+from repro.obs.__main__ import main as obs_main
+from repro.obs.emitters import (
+    console_summary,
+    prometheus_text,
+    read_jsonl,
+    render_report,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def small_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("nprec.train.grad_steps", strategy="defuzz").inc(42)
+    reg.gauge("graph.nodes", type="paper").set(120)
+    h = reg.histogram("nprec.train.epoch_loss", buckets=(0.5, 1.0))
+    h.observe(0.25)
+    h.observe(0.75)
+    h.observe(2.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_golden_format(self):
+        # Golden test: the full exposition output for a fixed registry.
+        assert prometheus_text(small_registry()) == (
+            "# TYPE repro_graph_nodes gauge\n"
+            'repro_graph_nodes{type="paper"} 120\n'
+            "# TYPE repro_nprec_train_epoch_loss histogram\n"
+            'repro_nprec_train_epoch_loss_bucket{le="0.5"} 1\n'
+            'repro_nprec_train_epoch_loss_bucket{le="1"} 2\n'
+            'repro_nprec_train_epoch_loss_bucket{le="+Inf"} 3\n'
+            "repro_nprec_train_epoch_loss_sum 3\n"
+            "repro_nprec_train_epoch_loss_count 3\n"
+            "# TYPE repro_nprec_train_grad_steps counter\n"
+            'repro_nprec_train_grad_steps{strategy="defuzz"} 42\n'
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("weird", path='a"b\\c').inc()
+        assert '{path="a\\"b\\\\c"}' in prometheus_text(reg)
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        outer = tracer.start("outer", {"run": 1})
+        tracer.finish(tracer.start("inner"))
+        tracer.finish(outer)
+        path = write_jsonl(tmp_path / "sub" / "cap.jsonl",
+                           registry=small_registry(), tracer=tracer,
+                           meta={"benchmark": "demo"})
+        events = read_jsonl(path)
+        meta, *rest = events
+        assert meta["type"] == "meta"
+        assert meta["benchmark"] == "demo"
+        assert meta["spans"] == 2 and meta["metrics"] == 3
+        spans = [e for e in rest if e["type"] == "span"]
+        metrics = [e for e in rest if e["type"] == "metric"]
+        # Spans serialise in start order, not finish order.
+        assert [s["name"] for s in spans] == ["outer", "inner"]
+        assert spans[1]["parent"] == spans[0]["index"]
+        assert {m["kind"] for m in metrics} == {"counter", "gauge", "histogram"}
+
+    def test_read_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_jsonl(bad)
+
+
+class TestReportRendering:
+    def test_report_contains_tree_totals_and_metrics(self, tmp_path):
+        tracer = Tracer()
+        outer = tracer.start("fit")
+        tracer.finish(tracer.start("fit.sem"))
+        tracer.finish(outer)
+        path = write_jsonl(tmp_path / "cap.jsonl", registry=small_registry(),
+                           tracer=tracer)
+        report = render_report(read_jsonl(path))
+        assert "Trace" in report
+        assert "\n  fit.sem" in report  # indented child
+        assert "Span totals" in report
+        assert "calls=1" in report
+        assert "Metrics" in report
+        assert "graph.nodes{type=paper}  120" in report
+
+    def test_empty_capture_message(self):
+        assert "empty capture" in render_report([{"type": "meta"}])
+
+    def test_console_summary_uses_global_state(self, obs_enabled):
+        with obs.trace("live.span"):
+            obs.count("live.counter", 2)
+        summary = console_summary()
+        assert "live.span" in summary
+        assert "live.counter  2" in summary
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        tracer = Tracer()
+        tracer.finish(tracer.start("stage"))
+        path = write_jsonl(tmp_path / "cap.jsonl",
+                           registry=MetricsRegistry(), tracer=tracer)
+        assert obs_main(["report", str(path)]) == 0
+        assert "stage" in capsys.readouterr().out
+
+    def test_report_missing_file_fails(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("steps")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("steps").inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("steps", {"phase": "train"})
+        c.inc(4)
+        assert c.snapshot() == {"value": 4.0}
+        assert c.labels == {"phase": "train"}
+
+
+class TestGauge:
+    def test_set_and_shift(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(-3)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_statistics(self):
+        h = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        assert h.min == 0.05
+        assert h.max == 5.0
+        assert h.mean == pytest.approx(5.55 / 3)
+
+    def test_buckets_are_cumulative(self):
+        h = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 2, 3]  # 50.0 only lands in +Inf
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("latency").mean == 0.0
+        assert Histogram("latency").snapshot()["min"] is None
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("latency", buckets=(1.0, 0.5))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_child(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", phase="x") is reg.counter("a", phase="x")
+
+    def test_label_sets_are_distinct_children(self):
+        reg = MetricsRegistry()
+        reg.counter("a", phase="x").inc()
+        reg.counter("a", phase="y").inc(2)
+        assert reg.counter("a", phase="x").value == 1
+        assert reg.counter("a", phase="y").value == 2
+        assert len(reg) == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a")
+
+    def test_get_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        reg.gauge("present", kind="g").set(1)
+        assert reg.get("present", kind="g").value == 1
+        assert reg.get("present") is None  # different (empty) label set
+        assert len(reg) == 1
+
+    def test_snapshot_shape_and_order(self):
+        reg = MetricsRegistry()
+        reg.gauge("b").set(2)
+        reg.counter("a", phase="x").inc()
+        snap = reg.snapshot()
+        assert [e["name"] for e in snap] == ["a", "b"]  # name-sorted
+        assert snap[0] == {"type": "metric", "kind": "counter", "name": "a",
+                           "labels": {"phase": "x"}, "value": 1.0}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.get("a") is None
