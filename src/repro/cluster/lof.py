@@ -60,14 +60,11 @@ def local_outlier_factor(data: np.ndarray, k: int = 10) -> np.ndarray:
     with np.errstate(divide="ignore"):
         lrd = np.where(lrd_denominator > 0, 1.0 / lrd_denominator, np.inf)
 
-    lof = np.empty(n)
     with np.errstate(invalid="ignore", divide="ignore"):
-        for i in range(n):
-            ratio = lrd[neighbours[i]] / lrd[i]
-            # inf/inf -> duplicates everywhere; define as perfectly inlying
-            ratio = np.where(np.isfinite(ratio), ratio, 1.0)
-            lof[i] = ratio.mean()
-    return lof
+        ratios = lrd[neighbours] / lrd[:, None]               # (n, k)
+        # inf/inf -> duplicates everywhere; define as perfectly inlying
+        ratios = np.where(np.isfinite(ratios), ratios, 1.0)
+        return ratios.mean(axis=1)
 
 
 def normalized_lof(data: np.ndarray, k: int = 10) -> np.ndarray:

@@ -25,6 +25,7 @@ from repro.core.rules import (
     reference_difference,
     subspace_centroids,
 )
+from repro.core.rules_batch import BatchPairScorer
 from repro.core.sem import SEMConfig, SubspaceEmbeddingMethod
 from repro.core.subspace_model import SubspaceEmbeddingNetwork
 from repro.core.twin import (
@@ -37,7 +38,7 @@ from repro.core.twin import (
 __all__ = [
     "classification_difference", "reference_difference", "keyword_difference",
     "subspace_centroids", "AbstractSubspaceRule", "ExpertRuleSet",
-    "RuleScores", "RULE_NAMES",
+    "RuleScores", "RULE_NAMES", "BatchPairScorer",
     "Triplet", "annotate_triplets",
     "SubspaceEmbeddingNetwork",
     "TwinNetworkTrainer", "TrainHistory", "pair_distance", "DISTANCE_FUNCTIONS",

@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.rules import ExpertRuleSet
 from repro.data.schema import Paper
 from repro.utils.rng import as_generator
@@ -61,6 +62,18 @@ def annotate_triplets(papers: Sequence[Paper], rules: ExpertRuleSet,
     seed:
         Sampling randomness.
 
+    Notes
+    -----
+    Rule scoring runs through the vectorized batch engine
+    (:class:`~repro.core.rules_batch.BatchPairScorer`): candidate triples
+    are drawn in vectorized chunks (``rng.integers`` plus rejection of
+    coinciding indices) and both pairs of every triple are scored as one
+    fused-score matrix. The triple distribution and acceptance law are
+    unchanged, but the RNG draw sequence differs from the historical
+    one-triple-per-iteration implementation, so a given seed yields a
+    different (equally valid) triplet sample than before the batch
+    engine.
+
     Returns
     -------
     A list of :class:`Triplet` spanning all subspaces.
@@ -71,29 +84,52 @@ def annotate_triplets(papers: Sequence[Paper], rules: ExpertRuleSet,
     if n_triplets < 1:
         raise ValueError(f"n_triplets must be >= 1, got {n_triplets}")
     rng = as_generator(seed)
+    n = len(papers)
     triplets: list[Triplet] = []
     budget = n_triplets * rules.num_subspaces
     attempts = 0
     max_attempts = budget * 20
-    while len(triplets) < budget and attempts < max_attempts:
-        attempts += 1
-        i, j, m = rng.choice(len(papers), size=3, replace=False)
-        anchor, cand_q, cand_q2 = papers[i], papers[j], papers[m]
-        scores_q = rules.fused_scores(anchor, cand_q)
-        scores_q2 = rules.fused_scores(anchor, cand_q2)
-        for k in range(rules.num_subspaces):
-            gap = float(scores_q[k] - scores_q2[k])
-            if abs(gap) < min_gap:
+    with obs.trace("sem.annotate", budget=budget, papers=n) as span:
+        scorer = rules.batch_scorer(papers)
+        while len(triplets) < budget and attempts < max_attempts:
+            chunk = min(max(budget - len(triplets), 64),
+                        max_attempts - attempts, 8192)
+            anchors = rng.integers(0, n, size=chunk)
+            qs = rng.integers(0, n, size=chunk)
+            q2s = rng.integers(0, n, size=chunk)
+            distinct = (anchors != qs) & (anchors != q2s) & (qs != q2s)
+            anchors, qs, q2s = anchors[distinct], qs[distinct], q2s[distinct]
+            if anchors.size == 0:
                 continue
+            gaps = (scorer.fused_scores(anchors, qs)
+                    - scorer.fused_scores(anchors, q2s))  # (rows, K)
+            keep = np.abs(gaps) >= min_gap
             if probabilistic:
-                keep_probability = 1.0 / (1.0 + np.exp(-abs(gap)))
-                if rng.random() > keep_probability:
-                    continue
-            if gap > 0:
-                positive, negative = cand_q, cand_q2
+                keep_probability = 1.0 / (1.0 + np.exp(-np.abs(gaps)))
+                keep &= rng.random(size=gaps.shape) <= keep_probability
+            # Emit accepted (row, subspace) cells in row-major order,
+            # stopping at the first row boundary where the budget is met
+            # (a single row may overshoot by up to K-1 triplets, as in
+            # the historical one-triple-per-iteration loop).
+            rows, cols = np.nonzero(keep)
+            filled = np.searchsorted(np.cumsum(np.bincount(
+                rows, minlength=anchors.size)), budget - len(triplets))
+            if filled < anchors.size:
+                attempts += int(filled) + 1
+                cells = rows <= filled
+                rows, cols = rows[cells], cols[cells]
             else:
-                positive, negative = cand_q2, cand_q
-            triplets.append(Triplet(anchor.id, positive.id, negative.id, k, abs(gap)))
+                attempts += int(anchors.size)
+            cell_gaps = gaps[rows, cols]
+            positives = np.where(cell_gaps > 0, qs[rows], q2s[rows])
+            negatives = np.where(cell_gaps > 0, q2s[rows], qs[rows])
+            triplets.extend(
+                Triplet(papers[a].id, papers[p].id, papers[q].id,
+                        int(k), float(g))
+                for a, p, q, k, g in zip(anchors[rows], positives, negatives,
+                                         cols, np.abs(cell_gaps)))
+        span.set("attempts", attempts)
+        span.set("triplets", len(triplets))
     if not triplets:
         raise ValueError(
             "no triplets could be annotated; lower min_gap or check the rule set"

@@ -20,6 +20,7 @@ centre's and neighbours' base embeddings (Eq. 16).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
@@ -55,6 +56,11 @@ class NPRecModel(Module):
     seed:
         Controls embedding init and neighbourhood sampling.
     """
+
+    #: Bound on the memoised batch receptive-field stacks (LRU): training
+    #: shuffles batches every epoch, so an unbounded cache would retain
+    #: one entry per distinct batch ever aggregated.
+    LAYER_CACHE_SIZE = 128
 
     def __init__(self, graph: HeterogeneousGraph,
                  text_vectors: dict[str, np.ndarray] | None,
@@ -187,6 +193,11 @@ class NPRecModel(Module):
         # Pre-sampled receptive fields per paper and view (deterministic).
         self._fields: dict[tuple[int, str], list[np.ndarray]] = {}
         self._field_rng = as_generator(int(rng.integers(2**31)))
+        # Memoised per-batch receptive-field index stacks (see
+        # _stacked_layers): repeated recommend.rank calls reuse the same
+        # user/candidate batches, so the concatenation is paid once.
+        self._layer_cache: OrderedDict[tuple[str, bytes], list[np.ndarray]] = \
+            OrderedDict()
 
     # ------------------------------------------------------------------
     # Receptive fields
@@ -203,6 +214,29 @@ class NPRecModel(Module):
                                      rng=self._field_rng)
             self._fields[key] = field
         return field
+
+    def _stacked_layers(self, indices: np.ndarray, view: str) -> list[np.ndarray]:
+        """Concatenated per-hop receptive-field index arrays for a batch.
+
+        The stack for a given (batch, view) is deterministic once the
+        per-node fields are sampled, so it is memoised (LRU-bounded by
+        :data:`LAYER_CACHE_SIZE`): repeated ``recommend.rank`` calls stop
+        rebuilding the same index arrays on every query. Only integer
+        index arrays are cached — embedding updates during training read
+        through them, so cached entries never go stale.
+        """
+        key = (view, indices.tobytes())
+        cached = self._layer_cache.get(key)
+        if cached is not None:
+            self._layer_cache.move_to_end(key)
+            return cached
+        layers = [np.concatenate([self._receptive_field(int(i), view)[h]
+                                  for i in indices])
+                  for h in range(self.depth + 1)]
+        self._layer_cache[key] = layers
+        while len(self._layer_cache) > self.LAYER_CACHE_SIZE:
+            self._layer_cache.popitem(last=False)
+        return layers
 
     # ------------------------------------------------------------------
     # Layer-0 vectors
@@ -232,9 +266,7 @@ class NPRecModel(Module):
         batch = indices.shape[0]
         k = self.neighbor_k
         d = self.dim
-        layers = [np.concatenate([self._receptive_field(int(i), view)[h]
-                                  for i in indices])
-                  for h in range(self.depth + 1)]
+        layers = self._stacked_layers(indices, view)
         weight_stack = (self.interest_layers if view == "interest"
                         else self.influence_layers)
 

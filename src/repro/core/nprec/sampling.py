@@ -11,10 +11,12 @@ is provided for the NPRec+CN ablation and the baselines.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from scipy import sparse
 
 from repro import obs
 from repro.core.rules import ExpertRuleSet
@@ -75,11 +77,24 @@ def defuzzed_negatives(papers: Sequence[Paper], rules: ExpertRuleSet,
     the ``threshold_quantile`` quantile of fused scores over a calibration
     sample of random pairs, so it adapts to each corpus.
 
+    Rule scoring runs through the vectorized batch engine
+    (:class:`~repro.core.rules_batch.BatchPairScorer`): candidate pairs
+    are drawn in vectorized chunks (``rng.integers`` plus rejection of
+    ``i == j``) and scored as one ``(chunk, K)`` matrix. The candidate
+    distribution is unchanged (uniform over ordered distinct pairs), but
+    the RNG draw sequence differs from the historical one-pair-per-
+    iteration implementation, so a given seed yields a different (equally
+    valid) negative sample. The calibration pairs are still drawn with
+    the historical per-pair calls, so thresholds match the old path
+    bit-for-bit under a fixed seed.
+
     With observability enabled (``repro.obs``), the sampler records the
     paper-critical funnel under ``nprec.sampling.*`` counters labelled
     ``strategy="defuzz"`` — in particular ``dropped_ambiguous``, the
     number of candidate pairs excluded because at least one of the K
-    subspaces judged them too similar (Sec. IV-C).
+    subspaces judged them too similar (Sec. IV-C), and ``underfilled``,
+    the shortfall when ``max_attempts`` ran out before ``n_negatives``
+    confident pairs were found (also raised as a ``RuntimeWarning``).
     """
     papers = list(papers)
     if len(papers) < 2:
@@ -89,49 +104,96 @@ def defuzzed_negatives(papers: Sequence[Paper], rules: ExpertRuleSet,
             f"threshold_quantile must be in (0, 1), got {threshold_quantile}"
         )
     rng = as_generator(seed)
+    n = len(papers)
 
-    # Calibrate the per-subspace thresholds.
-    calibration = []
-    for _ in range(80):
-        i, j = rng.choice(len(papers), size=2, replace=False)
-        calibration.append(rules.fused_scores(papers[i], papers[j]))
-    thresholds = np.quantile(np.asarray(calibration), threshold_quantile, axis=0)
-    # The paper's Sec. IV de-fuzzing condition quantifies over *every*
-    # subspace, so there must be exactly one threshold per subspace.
-    if thresholds.shape != (rules.num_subspaces,):
-        raise ShapeError(
-            f"expected one de-fuzzing threshold per subspace "
-            f"(K={rules.num_subspaces}), got shape {thresholds.shape}"
-        )
+    with obs.trace("nprec.sampling.defuzz", requested=n_negatives,
+                   papers=n) as span:
+        scorer = rules.batch_scorer(papers)
 
-    cited_by = {p.id: set(p.references) for p in papers}
-    negatives: list[TrainingPair] = []
-    attempts = 0
-    dropped_ambiguous = 0
-    skipped_cited = 0
-    max_attempts = n_negatives * 40 + 200
-    while len(negatives) < n_negatives and attempts < max_attempts:
-        attempts += 1
-        i, j = rng.choice(len(papers), size=2, replace=False)
-        citing, cited = papers[i], papers[j]
-        if cited.id in cited_by[citing.id]:
-            skipped_cited += 1
-            continue
-        scores = rules.fused_scores(citing, cited)
-        if scores.shape != thresholds.shape:
+        # Calibrate the per-subspace thresholds from one batched pass.
+        calibration_pairs = np.asarray(
+            [rng.choice(n, size=2, replace=False) for _ in range(80)])
+        calibration = scorer.fused_scores(calibration_pairs[:, 0],
+                                          calibration_pairs[:, 1])
+        thresholds = np.quantile(calibration, threshold_quantile, axis=0)
+        # The paper's Sec. IV de-fuzzing condition quantifies over *every*
+        # subspace, so there must be exactly one threshold per subspace.
+        if thresholds.shape != (rules.num_subspaces,):
             raise ShapeError(
-                f"fused_scores returned shape {scores.shape}; the de-fuzzing "
-                f"threshold must be applied in all {rules.num_subspaces} subspaces"
+                f"expected one de-fuzzing threshold per subspace "
+                f"(K={rules.num_subspaces}), got shape {thresholds.shape}"
             )
-        if np.all(scores > thresholds):
-            negatives.append(TrainingPair(citing.id, cited.id, 0.0))
-        else:
-            dropped_ambiguous += 1
+
+        # Sparse in-corpus citation matrix: cited_mask for a whole chunk
+        # of candidate pairs is one fancy-indexing read.
+        index_of = {p.id: i for i, p in enumerate(papers)}
+        cite_rows, cite_cols = [], []
+        for i, paper in enumerate(papers):
+            for ref in paper.references:
+                j = index_of.get(ref)
+                if j is not None:
+                    cite_rows.append(i)
+                    cite_cols.append(j)
+        citations = sparse.csr_matrix(
+            (np.ones(len(cite_rows), dtype=bool), (cite_rows, cite_cols)),
+            shape=(n, n))
+
+        negatives: list[TrainingPair] = []
+        attempts = 0
+        dropped_ambiguous = 0
+        skipped_cited = 0
+        max_attempts = n_negatives * 40 + 200
+        while len(negatives) < n_negatives and attempts < max_attempts:
+            chunk = min(max(2 * (n_negatives - len(negatives)), 256),
+                        max_attempts - attempts, 8192)
+            left = rng.integers(0, n, size=chunk)
+            right = rng.integers(0, n, size=chunk)
+            distinct = left != right
+            left, right = left[distinct], right[distinct]
+            if left.size == 0:
+                continue
+            cited_mask = np.asarray(
+                citations[left, right]).ravel().astype(bool)
+            scores = np.zeros((left.size, rules.num_subspaces))
+            fresh = ~cited_mask
+            if fresh.any():
+                fresh_scores = scorer.fused_scores(left[fresh], right[fresh])
+                if fresh_scores.shape[1:] != thresholds.shape:
+                    raise ShapeError(
+                        f"fused_scores returned shape {fresh_scores.shape[1:]}; "
+                        f"the de-fuzzing threshold must be applied in all "
+                        f"{rules.num_subspaces} subspaces"
+                    )
+                scores[fresh] = fresh_scores
+            accepted = fresh & np.all(scores > thresholds, axis=1)
+            for row in range(left.size):
+                if len(negatives) >= n_negatives:
+                    break
+                attempts += 1
+                if cited_mask[row]:
+                    skipped_cited += 1
+                elif accepted[row]:
+                    negatives.append(TrainingPair(papers[left[row]].id,
+                                                  papers[right[row]].id, 0.0))
+                else:
+                    dropped_ambiguous += 1
+        span.set("attempts", attempts)
+        span.set("negatives", len(negatives))
     obs.count("nprec.sampling.candidates", attempts, strategy="defuzz")
     obs.count("nprec.sampling.negatives", len(negatives), strategy="defuzz")
     obs.count("nprec.sampling.dropped_ambiguous", dropped_ambiguous,
               strategy="defuzz")
     obs.count("nprec.sampling.skipped_cited", skipped_cited, strategy="defuzz")
+    if len(negatives) < n_negatives:
+        shortfall = n_negatives - len(negatives)
+        obs.count("nprec.sampling.underfilled", shortfall, strategy="defuzz")
+        warnings.warn(
+            f"defuzzed_negatives found only {len(negatives)} of "
+            f"{n_negatives} requested negatives ({shortfall} short) after "
+            f"{attempts} candidate draws; the corpus may be too small or "
+            f"too homogeneous for threshold_quantile={threshold_quantile}",
+            RuntimeWarning, stacklevel=2,
+        )
     return negatives
 
 

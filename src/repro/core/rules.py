@@ -20,8 +20,9 @@ by twin-network training).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from repro.text.sentence_encoder import SentenceEncoder
 from repro.text.sequence_labeler import SUBSPACE_NAMES
 from repro.text.word_vectors import HashWordVectors
 from repro.utils.rng import as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.rules_batch import BatchPairScorer
 
 #: Fallback keyword distance when a paper declares no keywords: the
 #: expected distance between two independent random unit vectors.
@@ -115,6 +119,11 @@ def subspace_centroids(sentence_vectors: np.ndarray, labels: Sequence[int],
     return centroids
 
 
+#: Default bound on the per-instance centroid cache of
+#: :class:`AbstractSubspaceRule` (least-recently-used eviction).
+DEFAULT_CENTROID_CACHE_SIZE = 4096
+
+
 class AbstractSubspaceRule:
     """The f_t rule: subspace centroid distances from abstract text.
 
@@ -124,17 +133,27 @@ class AbstractSubspaceRule:
         Frozen sentence encoder (BERT substitute).
     num_subspaces:
         K, the number of sentence-function subspaces.
+    cache_size:
+        Maximum number of per-paper centroid matrices kept in the
+        instance cache; least-recently-used entries are evicted beyond
+        it, so long-running services scoring an unbounded stream of
+        papers hold at most ``cache_size * K * dim`` floats.
     """
 
-    def __init__(self, encoder: SentenceEncoder, num_subspaces: int = len(SUBSPACE_NAMES)) -> None:
+    def __init__(self, encoder: SentenceEncoder, num_subspaces: int = len(SUBSPACE_NAMES),
+                 cache_size: int = DEFAULT_CENTROID_CACHE_SIZE) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self.encoder = encoder
         self.num_subspaces = num_subspaces
-        self._cache: dict[str, np.ndarray] = {}
+        self.cache_size = cache_size
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
 
     def centroids(self, paper: Paper, labels: Sequence[int] | None = None) -> np.ndarray:
         """Cached subspace centroids of *paper* (gold labels by default)."""
         cached = self._cache.get(paper.id)
         if cached is not None:
+            self._cache.move_to_end(paper.id)
             return cached
         sentence_vectors = self.encoder.encode(paper.abstract)
         used = labels if labels is not None else paper.sentence_labels
@@ -143,6 +162,8 @@ class AbstractSubspaceRule:
             sentence_vectors = sentence_vectors[: len(used)]
         result = subspace_centroids(sentence_vectors, used, self.num_subspaces)
         self._cache[paper.id] = result
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
         return result
 
     def difference(self, paper_p: Paper, paper_q: Paper, subspace: int) -> float:
@@ -230,6 +251,7 @@ class ExpertRuleSet:
             raise ValueError(f"weights must have shape ({self.rule_count},)")
         self._mean: np.ndarray | None = None
         self._std: np.ndarray | None = None
+        self._scorer_cache: "tuple[tuple[str, ...], BatchPairScorer] | None" = None
 
     @property
     def rule_count(self) -> int:
@@ -301,6 +323,27 @@ class ExpertRuleSet:
             float(self.weights @ ((raw.vector(k) - mean) / std))
             for k in range(self.num_subspaces)
         ])
+
+    def batch_scorer(self, papers: Sequence[Paper]) -> "BatchPairScorer":
+        """A :class:`~repro.core.rules_batch.BatchPairScorer` specialised
+        to *papers* — precomputes per-paper features once so many pairs
+        can be scored in vectorized numpy.
+
+        The most recent scorer is memoised per corpus (keyed by the id
+        sequence), so pipeline stages that score over the same paper list
+        — de-fuzz sampling, triplet annotation, rule-weight learning —
+        share one precomputation. Scorers read normalisation statistics
+        and fusion weights live from this rule set, so ``fit`` /
+        ``set_weights`` after construction never stale them.
+        """
+        from repro.core.rules_batch import BatchPairScorer
+        key = tuple(p.id for p in papers)
+        cached = self._scorer_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        scorer = BatchPairScorer(self, papers)
+        self._scorer_cache = (key, scorer)
+        return scorer
 
     def set_weights(self, weights: np.ndarray) -> None:
         """Install learned fusion weights (from twin-network training)."""

@@ -186,24 +186,24 @@ class SubspaceEmbeddingMethod:
         deterministic, interpretable stand-in for learning a_i jointly
         with the network, and it is refined before triplet annotation so
         annotations use the improved fusion.
+
+        All sampled triples are scored through the vectorized batch
+        engine in one pass; the triple draws consume the shared *rng*
+        exactly as the historical per-pair loop did.
         """
         assert self.rules is not None
         cfg = self.config
-        agreements = np.zeros(self.rules.rule_count)
-        counted = np.zeros(self.rules.rule_count)
-        for _ in range(cfg.rule_weight_samples):
-            i, j, m = rng.choice(len(papers), size=3, replace=False)
-            anchor, q, q2 = papers[i], papers[j], papers[m]
-            for k in range(cfg.num_subspaces):
-                vec_q = self.rules.normalized_vector(anchor, q, k)
-                vec_q2 = self.rules.normalized_vector(anchor, q2, k)
-                fused_gap = float(np.mean(vec_q) - np.mean(vec_q2))
-                if abs(fused_gap) < 1e-9:
-                    continue
-                per_rule_gap = vec_q - vec_q2
-                agree = np.sign(per_rule_gap) == np.sign(fused_gap)
-                agreements += agree.astype(float)
-                counted += 1.0
+        triples = np.asarray(
+            [rng.choice(len(papers), size=3, replace=False)
+             for _ in range(cfg.rule_weight_samples)])
+        scorer = self.rules.batch_scorer(papers)
+        z_q = scorer.normalized_matrix(triples[:, 0], triples[:, 1])
+        z_q2 = scorer.normalized_matrix(triples[:, 0], triples[:, 2])
+        fused_gap = z_q.mean(axis=2) - z_q2.mean(axis=2)        # (m, K)
+        confident = np.abs(fused_gap) >= 1e-9
+        agree = np.sign(z_q - z_q2) == np.sign(fused_gap)[..., None]
+        agreements = (agree & confident[..., None]).sum(axis=(0, 1)).astype(float)
+        counted = np.full(self.rules.rule_count, float(confident.sum()))
         counted[counted == 0] = 1.0
         weights = agreements / counted + 1e-3
         return weights / weights.sum()

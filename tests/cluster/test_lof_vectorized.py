@@ -1,0 +1,58 @@
+"""The vectorized LOF ratio step must match the per-row reference loop
+exactly (same elementwise operations, same mean) — including the
+duplicate-point inf/inf path that defines degenerate ratios as 1.0."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.lof import _pairwise_distances, local_outlier_factor
+
+
+def reference_lof(data, k=10):
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    k = min(k, n - 1)
+    distances = _pairwise_distances(data)
+    order = np.argsort(distances, axis=1)
+    neighbours = order[:, 1:k + 1]
+    k_distance = distances[np.arange(n), neighbours[:, -1]]
+    reach = np.maximum(k_distance[neighbours],
+                       distances[np.arange(n)[:, None], neighbours])
+    lrd_denominator = reach.mean(axis=1)
+    with np.errstate(divide="ignore"):
+        lrd = np.where(lrd_denominator > 0, 1.0 / lrd_denominator, np.inf)
+    scores = np.empty(n)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        for i in range(n):
+            ratios = lrd[neighbours[i]] / lrd[i]
+            ratios = np.where(np.isfinite(ratios), ratios, 1.0)
+            scores[i] = ratios.mean()
+    return scores
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("k", [3, 10])
+def test_matches_reference_loop_exactly(seed, k):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(80, 6))
+    assert np.array_equal(local_outlier_factor(data, k=k),
+                          reference_lof(data, k=k))
+
+
+def test_duplicate_points_match_reference():
+    # duplicated rows give zero reach distances -> lrd = inf -> inf/inf
+    rng = np.random.default_rng(3)
+    base = rng.normal(size=(10, 4))
+    data = np.vstack([base, base, base, rng.normal(size=(5, 4))])
+    got = local_outlier_factor(data, k=5)
+    assert np.array_equal(got, reference_lof(data, k=5))
+    assert np.isfinite(got).all()
+
+
+def test_outlier_still_flagged():
+    rng = np.random.default_rng(4)
+    data = np.vstack([rng.normal(size=(60, 3)),
+                      np.full((1, 3), 25.0)])
+    scores = local_outlier_factor(data, k=8)
+    assert scores[-1] == scores.max()
+    assert scores[-1] > 2.0

@@ -78,3 +78,34 @@ class TestBlocksAndGates:
         b = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1, seed=7)
         np.testing.assert_allclose(a.interest_vectors(ids).data,
                                    b.interest_vectors(ids).data)
+
+
+class TestStackedLayerCache:
+    def test_repeat_batch_returns_memoized_stack(self, graph_and_text):
+        graph, text, _, train, _ = graph_and_text
+        model = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1, seed=0)
+        indices = np.asarray([model.graph.index_of("paper", train[0].id),
+                              model.graph.index_of("paper", train[1].id)])
+        first = model._stacked_layers(indices, "two_way")
+        second = model._stacked_layers(indices, "two_way")
+        assert all(a is b for a, b in zip(first, second))
+        # a different view is a different cache entry
+        other = model._stacked_layers(indices, "influence")
+        assert other[0] is not first[0]
+
+    def test_cache_is_bounded(self, graph_and_text):
+        graph, text, _, train, _ = graph_and_text
+        model = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1, seed=0)
+        model.LAYER_CACHE_SIZE = 4
+        paper_ids = [model.graph.index_of("paper", p.id) for p in train[:10]]
+        for i in paper_ids:
+            model._stacked_layers(np.asarray([i]), "two_way")
+        assert len(model._layer_cache) == 4
+
+    def test_aggregation_unchanged_by_caching(self, graph_and_text):
+        graph, text, _, train, _ = graph_and_text
+        ids = [p.id for p in train[:3]]
+        warm = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=1, seed=0)
+        baseline = warm.interest_vectors(ids).data.copy()
+        again = warm.interest_vectors(ids).data
+        assert np.array_equal(baseline, again)

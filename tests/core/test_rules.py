@@ -166,3 +166,28 @@ class TestExpertRuleSet:
     def test_fit_requires_two_papers(self):
         with pytest.raises(ValueError):
             ExpertRuleSet(SentenceEncoder(dim=16)).fit([make_paper("only")])
+
+
+class TestCentroidCacheBound:
+    def test_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            AbstractSubspaceRule(SentenceEncoder(dim=16), cache_size=0)
+
+    def test_lru_eviction_keeps_most_recent(self):
+        rule = AbstractSubspaceRule(SentenceEncoder(dim=16), cache_size=3)
+        papers = [make_paper(f"p{i}") for i in range(5)]
+        for p in papers:
+            rule.centroids(p)
+        assert len(rule._cache) == 3
+        assert set(rule._cache) == {"p2", "p3", "p4"}
+        # touching p2 makes p3 the eviction victim for the next insert
+        rule.centroids(papers[2])
+        rule.centroids(make_paper("p5"))
+        assert set(rule._cache) == {"p2", "p4", "p5"}
+
+    def test_evicted_entries_recompute_identically(self):
+        rule = AbstractSubspaceRule(SentenceEncoder(dim=16), cache_size=1)
+        a, b = make_paper("a"), make_paper("b")
+        first = rule.centroids(a).copy()
+        rule.centroids(b)  # evicts a
+        assert np.array_equal(rule.centroids(a), first)

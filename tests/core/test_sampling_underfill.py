@@ -1,0 +1,70 @@
+"""De-fuzzed sampling must *report* an unmet quota, not silently return a
+smaller training set: a RuntimeWarning naming the shortfall plus the
+``nprec.sampling.underfilled`` counter."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.nprec.sampling import defuzzed_negatives
+from repro.core.rules import ExpertRuleSet
+from repro.data import Paper, load_scopus
+from repro.text import SentenceEncoder
+
+
+@pytest.fixture
+def obs_enabled():
+    state = obs.configure(enabled=True, reset=True)
+    try:
+        yield state
+    finally:
+        obs.configure(enabled=False, reset=True)
+
+
+def mutually_citing_papers(n=3):
+    """Every ordered pair is a citation pair -> no negative can exist."""
+    ids = [f"p{i}" for i in range(n)]
+    return [
+        Paper(id=pid, title="t", abstract="One sentence. Another sentence.",
+              year=2015, field="cs", sentence_labels=(0, 1),
+              keywords=("graph", f"topic{i}"), category_path=("cs", "ir"),
+              references=tuple(other for other in ids if other != pid))
+        for i, pid in enumerate(ids)
+    ]
+
+
+def test_underfill_warns_and_counts(obs_enabled):
+    papers = mutually_citing_papers()
+    rules = ExpertRuleSet(SentenceEncoder(dim=16)).fit(papers, n_pairs=10,
+                                                       seed=0)
+    with pytest.warns(RuntimeWarning, match=r"only 0 of 5 .*5 short"):
+        negatives = defuzzed_negatives(papers, rules, 5, seed=0)
+    assert negatives == []
+    shortfall = obs.get_registry().get("nprec.sampling.underfilled",
+                                       strategy="defuzz")
+    assert shortfall.value == 5
+
+
+def test_no_warning_when_quota_met():
+    papers = load_scopus(scale=0.12, seed=2).papers[:40]
+    rules = ExpertRuleSet(SentenceEncoder(dim=16)).fit(papers, n_pairs=20,
+                                                       seed=0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        negatives = defuzzed_negatives(papers, rules, 10, seed=0)
+    assert len(negatives) == 10
+
+
+def test_partial_fill_names_the_numbers(obs_enabled):
+    # two honest papers + a mutually-citing clique: some negatives exist
+    # but far fewer than requested
+    papers = mutually_citing_papers(4)
+    rng = np.random.default_rng(0)
+    with pytest.warns(RuntimeWarning, match=r"defuzzed_negatives found only"):
+        rules = ExpertRuleSet(SentenceEncoder(dim=16)).fit(papers, n_pairs=10,
+                                                           seed=1)
+        defuzzed_negatives(papers, rules, 50, seed=int(rng.integers(100)))
+    assert obs.get_registry().get("nprec.sampling.underfilled",
+                                  strategy="defuzz").value > 0
