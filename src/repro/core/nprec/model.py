@@ -351,6 +351,75 @@ class NPRecModel(Module):
     # ------------------------------------------------------------------
     # Cold-start induction
     # ------------------------------------------------------------------
+    def attach_paper(self, paper_index: int,
+                     text_vector: np.ndarray | None = None,
+                     content_vector: np.ndarray | None = None) -> int:
+        """Grow the model's entity tables after a paper joined the graph.
+
+        The serving-time half of the Sec. IV-E cold-start path: the graph
+        already holds the new paper node (see
+        :func:`repro.graph.builder.attach_paper_to_network`); this method
+        extends every per-entity array to the grown entity count — zero
+        base embeddings for the new entities (matching the "stay near
+        zero" design of untrained metadata nodes), the paper's fused SEM
+        text vector, and its lexical content row — then imputes the
+        paper's base embedding from its metadata neighbours exactly as
+        :meth:`induct_new_papers` does at fit time. No training happens.
+
+        Parameters
+        ----------
+        paper_index:
+            The dense index the graph assigned to the new paper node.
+        text_vector:
+            Attention-fused SEM embedding (required when ``use_text``).
+        content_vector:
+            Lexical content row (required when the model carries a
+            content block); stored L2-normalised like fit-time rows.
+
+        Returns
+        -------
+        The number of new entity rows added (paper + novel metadata).
+        """
+        old_n = self.embeddings.num_embeddings
+        new_n = self.graph.num_entities
+        added = new_n - old_n
+        if added <= 0 or paper_index < old_n or paper_index >= new_n:
+            raise ValueError(
+                f"paper_index {paper_index} is not a newly added entity "
+                f"(entity count {old_n} -> {new_n})")
+        if self.use_text and text_vector is None:
+            raise ValueError("use_text=True requires a text_vector")
+        if self._content_matrix is not None and content_vector is None:
+            raise ValueError("model has a content block; content_vector required")
+
+        table = self.embeddings.weight
+        table.data = np.vstack([table.data, np.zeros((added, self.dim))])
+        table.zero_grad()
+        self.embeddings.num_embeddings = new_n
+
+        mask = np.ones(added)
+        mask[paper_index - old_n] = 0.0  # papers carry no id embedding
+        self._nonpaper_mask = np.concatenate([self._nonpaper_mask, mask])
+
+        if self.use_text:
+            assert self._text_matrix is not None and text_vector is not None
+            rows = np.zeros((added, self._text_matrix.shape[1]))
+            rows[paper_index - old_n] = np.asarray(text_vector, dtype=np.float64)
+            self._text_matrix = np.vstack([self._text_matrix, rows])
+        if self._content_matrix is not None:
+            assert content_vector is not None
+            content = np.asarray(content_vector, dtype=np.float64)
+            norm = np.linalg.norm(content)
+            rows = np.zeros((added, self._content_matrix.shape[1]))
+            rows[paper_index - old_n] = content / norm if norm > 0 else content
+            self._content_matrix = np.vstack([self._content_matrix, rows])
+
+        # Cached index stacks stay valid (indices are stable), but drop
+        # them anyway so memory accounting follows the grown tables.
+        self._layer_cache.clear()
+        self.induct_new_papers([self.graph.key_of(paper_index).id])
+        return added
+
     def induct_new_papers(self, paper_ids: Sequence[str]) -> int:
         """Impute base embeddings of unseen papers from metadata neighbours.
 

@@ -73,6 +73,7 @@ class NPRecRecommender(Recommender):
         self.sem: SubspaceEmbeddingMethod | None = None
         self.model: NPRecModel | None = None
         self.history_: NPRecTrainHistory | None = None
+        self.content_tfidf_: TfIdfIndex | None = None
         self._train_by_id: dict[str, Paper] = {}
         self._novelty: dict[str, float] = {}
         self._profile_text: JTIERecommender | None = None
@@ -105,9 +106,13 @@ class NPRecRecommender(Recommender):
                     fused = self.sem.fused_embeddings(everyone)
                     text_vectors = {p.id: fused[i] for i, p in enumerate(everyone)}
                 content_vectors: dict[str, np.ndarray] | None = None
+                self.content_tfidf_ = None
                 if cfg.use_content_similarity and cfg.use_text:
                     tfidf = TfIdfIndex(max_features=3000).fit(train_papers)
                     content_vectors = {p.id: tfidf.transform(p) for p in everyone}
+                    # Kept for serving: incremental ingestion must embed
+                    # new papers with the *fit-time* vocabulary.
+                    self.content_tfidf_ = tfidf
 
             # 2. Heterogeneous network: metadata for everyone, citations only
             #    among historical papers (new papers are citation cold-start).

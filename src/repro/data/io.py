@@ -14,25 +14,43 @@ from repro.data.corpus import Corpus
 from repro.data.schema import Author, Paper, Venue
 
 
+def paper_to_dict(paper: Paper) -> dict:
+    """Plain-dict representation of one paper (novelty ground truth is a
+    generator artefact and is deliberately not persisted)."""
+    return {
+        "id": paper.id, "title": paper.title, "abstract": paper.abstract,
+        "year": paper.year, "month": paper.month, "field": paper.field,
+        "category_path": list(paper.category_path),
+        "keywords": list(paper.keywords),
+        "references": list(paper.references),
+        "authors": list(paper.authors),
+        "venue": paper.venue,
+        "citation_count": paper.citation_count,
+        "sentence_labels": list(paper.sentence_labels),
+    }
+
+
+def paper_from_dict(entry: dict) -> Paper:
+    """Inverse of :func:`paper_to_dict`."""
+    return Paper(
+        id=entry["id"], title=entry["title"], abstract=entry["abstract"],
+        year=entry["year"], month=entry.get("month"), field=entry["field"],
+        category_path=tuple(entry.get("category_path", ())),
+        keywords=tuple(entry.get("keywords", ())),
+        references=tuple(entry.get("references", ())),
+        authors=tuple(entry.get("authors", ())),
+        venue=entry.get("venue"),
+        citation_count=entry.get("citation_count", 0),
+        sentence_labels=tuple(entry.get("sentence_labels", ())),
+    )
+
+
 def corpus_to_dict(corpus: Corpus) -> dict:
     """Plain-dict representation of a corpus (taxonomy is not included —
     it is a generator artefact; category paths live on the papers)."""
     return {
         "name": corpus.name,
-        "papers": [
-            {
-                "id": p.id, "title": p.title, "abstract": p.abstract,
-                "year": p.year, "month": p.month, "field": p.field,
-                "category_path": list(p.category_path),
-                "keywords": list(p.keywords),
-                "references": list(p.references),
-                "authors": list(p.authors),
-                "venue": p.venue,
-                "citation_count": p.citation_count,
-                "sentence_labels": list(p.sentence_labels),
-            }
-            for p in corpus.papers
-        ],
+        "papers": [paper_to_dict(p) for p in corpus.papers],
         "authors": [
             {"id": a.id, "name": a.name, "affiliation": a.affiliation}
             for a in corpus.authors
@@ -46,20 +64,7 @@ def corpus_to_dict(corpus: Corpus) -> dict:
 
 def corpus_from_dict(payload: dict, strict: bool = True) -> Corpus:
     """Inverse of :func:`corpus_to_dict`."""
-    papers = [
-        Paper(
-            id=entry["id"], title=entry["title"], abstract=entry["abstract"],
-            year=entry["year"], month=entry.get("month"), field=entry["field"],
-            category_path=tuple(entry.get("category_path", ())),
-            keywords=tuple(entry.get("keywords", ())),
-            references=tuple(entry.get("references", ())),
-            authors=tuple(entry.get("authors", ())),
-            venue=entry.get("venue"),
-            citation_count=entry.get("citation_count", 0),
-            sentence_labels=tuple(entry.get("sentence_labels", ())),
-        )
-        for entry in payload["papers"]
-    ]
+    papers = [paper_from_dict(entry) for entry in payload["papers"]]
     authors = [Author(**entry) for entry in payload.get("authors", [])]
     venues = [Venue(**entry) for entry in payload.get("venues", [])]
     return Corpus(payload["name"], papers, authors=authors, venues=venues,

@@ -35,3 +35,11 @@ class NotFittedError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its budget."""
+
+
+class ArtifactError(ReproError):
+    """A persisted model artifact is missing, corrupt, or unreadable."""
+
+
+class SchemaVersionError(ArtifactError):
+    """A persisted artifact was written under an incompatible schema."""

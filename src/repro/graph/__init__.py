@@ -1,6 +1,6 @@
 """Heterogeneous academic network substrate (Sec. IV-A)."""
 
-from repro.graph.builder import build_academic_network
+from repro.graph.builder import attach_paper_to_network, build_academic_network
 from repro.graph.hetero import (
     ENTITY_TYPES,
     ONE_WAY_RELATIONS,
@@ -13,6 +13,6 @@ from repro.graph.sampling import sample_multi_hop, sample_neighbors
 __all__ = [
     "HeterogeneousGraph", "EntityKey",
     "ENTITY_TYPES", "RELATION_TYPES", "ONE_WAY_RELATIONS",
-    "build_academic_network",
+    "build_academic_network", "attach_paper_to_network",
     "sample_neighbors", "sample_multi_hop",
 ]

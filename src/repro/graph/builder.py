@@ -14,6 +14,7 @@ from typing import Iterable
 from repro import obs
 from repro.data.corpus import Corpus
 from repro.data.schema import Paper
+from repro.errors import GraphError
 from repro.graph.hetero import ENTITY_TYPES, EntityKey, HeterogeneousGraph
 
 
@@ -91,3 +92,59 @@ def build_academic_network(corpus: Corpus, papers: Iterable[Paper] | None = None
             for relation, n_edges in edge_tally.items():
                 obs.gauge("graph.edges", n_edges, relation=relation)
     return graph
+
+
+def attach_paper_to_network(graph: HeterogeneousGraph, paper: Paper,
+                            author_affiliations: dict[str, str] | None = None
+                            ) -> int:
+    """Attach one newly published paper to an existing network in place.
+
+    The incremental counterpart of :func:`build_academic_network` for the
+    serving path (Sec. IV-E cold start): the paper joins with its metadata
+    relations only — authors, venue, year, keywords, category — and never
+    with citation edges, exactly how a new paper enters the graph at
+    training time. Unknown metadata entities (novel keywords, first-time
+    authors) are registered on the fly.
+
+    Parameters
+    ----------
+    graph:
+        The network to mutate.
+    paper:
+        The new paper; its id must not already be in the graph.
+    author_affiliations:
+        Optional ``author id -> affiliation`` map (from the corpus) so
+        known affiliations keep their ``affiliated_with`` edges.
+
+    Returns
+    -------
+    The dense entity index assigned to the new paper node.
+    """
+    if ("paper", paper.id) in graph:
+        raise GraphError(f"paper {paper.id!r} is already in the graph")
+    affiliations = author_affiliations or {}
+    index = graph.add_entity("paper", paper.id)
+    paper_key = EntityKey("paper", paper.id)
+    for author_id in paper.authors:
+        graph.add_entity("author", author_id)
+        graph.add_edge("written_by", paper_key, EntityKey("author", author_id))
+        affiliation = affiliations.get(author_id)
+        if affiliation:
+            graph.add_entity("affiliation", affiliation)
+            graph.add_edge("affiliated_with", EntityKey("author", author_id),
+                           EntityKey("affiliation", affiliation))
+    if paper.venue is not None:
+        graph.add_entity("venue", paper.venue)
+        graph.add_edge("published_in", paper_key, EntityKey("venue", paper.venue))
+    year_id = str(paper.year)
+    graph.add_entity("year", year_id)
+    graph.add_edge("published_year", paper_key, EntityKey("year", year_id))
+    for keyword in paper.keywords:
+        graph.add_entity("keyword", keyword)
+        graph.add_edge("has_keyword", paper_key, EntityKey("keyword", keyword))
+    if paper.category_path:
+        leaf = paper.category_path[-1]
+        graph.add_entity("category", leaf)
+        graph.add_edge("classified_as", paper_key, EntityKey("category", leaf))
+    obs.count("graph.papers_attached")
+    return index

@@ -162,3 +162,38 @@ class HeterogeneousGraph:
         """Every neighbour regardless of direction."""
         return (self.two_way_neighbors(index)
                 + self.cited_papers(index) + self.citing_papers(index))
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.serve artifact store)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-serialisable snapshot preserving indices and adjacency
+        order exactly (adjacency order matters: neighbourhood sampling
+        draws positions into these lists)."""
+        return {
+            "entities": [[key.type, key.id] for key in self._keys],
+            "two_way": {str(src): [[dst, rel] for dst, rel in neighbours]
+                        for src, neighbours in self._two_way.items()},
+            "cites_out": {str(src): list(dsts)
+                          for src, dsts in self._cites_out.items()},
+            "cites_in": {str(dst): list(srcs)
+                         for dst, srcs in self._cites_in.items()},
+            "edge_count": self._edge_count,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "HeterogeneousGraph":
+        """Rebuild a graph saved by :meth:`to_payload`, bit-identically:
+        same entity indices, same adjacency-list ordering."""
+        graph = cls()
+        for entity_type, entity_id in payload["entities"]:
+            graph.add_entity(entity_type, entity_id)
+        for src, neighbours in payload["two_way"].items():
+            graph._two_way[int(src)] = [(int(dst), rel)
+                                        for dst, rel in neighbours]
+        for src, dsts in payload["cites_out"].items():
+            graph._cites_out[int(src)] = [int(d) for d in dsts]
+        for dst, srcs in payload["cites_in"].items():
+            graph._cites_in[int(dst)] = [int(s) for s in srcs]
+        graph._edge_count = int(payload["edge_count"])
+        return graph

@@ -83,19 +83,32 @@ class Module:
         return {name: tensor.data.copy() for name, tensor in self.named_parameters()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameters saved by :meth:`state_dict` (strict matching)."""
+        """Load parameters saved by :meth:`state_dict` (strict matching).
+
+        The load is atomic: every key and shape is validated against the
+        module *before* any parameter is touched, so a mismatch raises
+        with the module left exactly as it was (no partial overwrite).
+        """
         own = dict(self.named_parameters())
         missing = sorted(set(own) - set(state))
         unexpected = sorted(set(state) - set(own))
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={missing}, unexpected={unexpected}")
+        staged: dict[str, np.ndarray] = {}
+        mismatched: list[str] = []
         for name, tensor in own.items():
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != tensor.data.shape:
-                raise ValueError(
-                    f"parameter {name!r} shape mismatch: model {tensor.data.shape}, state {value.shape}"
-                )
-            tensor.data = value.copy()
+                mismatched.append(
+                    f"{name!r}: model {tensor.data.shape}, state {value.shape}")
+            else:
+                staged[name] = value
+        if mismatched:
+            raise ValueError(
+                "parameter shape mismatch (no parameters were modified): "
+                + "; ".join(mismatched))
+        for name, tensor in own.items():
+            tensor.data = staged[name].copy()
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -1,0 +1,39 @@
+"""repro.serve — persistent model artifacts + incremental serving.
+
+The deployment half of the reproduction (ROADMAP north star): a fitted
+SEM -> NPRec pipeline is split into a **persistent artifact** (a
+versioned on-disk directory with a manifest and checksums, written by
+:func:`save_pipeline` and reread by :func:`load_pipeline`) and an
+**online scoring path** (:class:`ServingIndex`: precomputed interest /
+influence embeddings, blockwise top-K retrieval, a bounded query cache,
+and :meth:`ServingIndex.add_paper` cold-start ingestion of newly
+published papers without retraining — Sec. IV-E's serving condition).
+
+Guarantees:
+
+* round trip is exact — ``load_pipeline(save_pipeline(r)).rank(...)``
+  equals ``r.rank(...)`` bit for bit (weights, graph adjacency order,
+  sampled receptive fields, and the field-sampler RNG state are all
+  persisted);
+* artifacts fail loudly — checksum or schema-version mismatches raise
+  :class:`repro.errors.ArtifactError` / ``SchemaVersionError``;
+* serving degrades gracefully — unknown users or unloadable artifacts
+  fall back to the TF-IDF content ranker, with the downgrade recorded
+  under the ``serve.degraded`` obs counter.
+
+CLI: ``python -m repro.serve warmup|query|smoke``.
+"""
+
+from repro.serve.artifacts import (
+    SCHEMA_VERSION,
+    load_author_affiliations,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.serve.index import ServingIndex
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "save_pipeline", "load_pipeline", "load_author_affiliations",
+    "ServingIndex",
+]

@@ -1,0 +1,491 @@
+"""The artifact store: save/load a fitted SEM -> NPRec pipeline.
+
+An artifact is a directory::
+
+    manifest.json            schema version, checksums, counts, metadata
+    config.json              NPRecConfig + SEMConfig + model architecture
+    graph.json               heterogeneous network (indices + adjacency order)
+    papers.json              training papers + author affiliations
+    serve.json               novelty (GMM/LOF potential-influence) scores
+    sem/encoder.json|.npz    frozen sentence-encoder statistics + rotation
+    sem/network.npz          subspace fusion network (nn.serialization)
+    sem/rules.npz            expert-rule fusion weights + normalisation
+    sem/labeler.npz          CRF sentence tagger (only when trained)
+    model/weights.npz        NPRecModel parameters (state_dict)
+    model/static.npz         text / content / mask matrices
+    model/fields.npz         sampled receptive fields per paper and view
+    model/field_rng.json     neighbourhood-sampler RNG state
+    profile_text/meta.json|weights.npz
+                             JTIE profile-text module (only when trained)
+
+Everything that decides a ranking is persisted **exactly** — float64
+arrays through ``.npz``, graph adjacency in insertion order, the sampled
+receptive fields, and the bit-generator state of the field sampler — so
+a reloaded recommender reproduces ``rank()`` bit for bit, including for
+papers whose receptive fields were never sampled before the save.
+
+``manifest.json`` carries a SHA-256 per file and a schema version;
+:func:`load_pipeline` refuses loudly (``ArtifactError`` /
+``SchemaVersionError``) rather than deserialising a corrupt or
+foreign-versioned directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.baselines.neural import JTIERecommender
+from repro.core.nprec.model import NPRecModel
+from repro.core.nprec.recommend import NPRecConfig, NPRecRecommender
+from repro.core.rules import ExpertRuleSet
+from repro.core.sem import SEMConfig, SubspaceEmbeddingMethod
+from repro.core.subspace_model import SubspaceEmbeddingNetwork
+from repro.data.corpus import Corpus
+from repro.data.io import paper_from_dict, paper_to_dict
+from repro.errors import ArtifactError, NotFittedError, SchemaVersionError
+from repro.graph.hetero import HeterogeneousGraph
+from repro.nn.layers import Linear
+from repro.nn.serialization import load_module, save_module
+from repro.text.sentence_encoder import SentenceEncoder
+from repro.text.sequence_labeler import SequenceLabeler
+
+#: Version of the on-disk layout. Bump on any incompatible change; load
+#: refuses mismatched versions with :class:`SchemaVersionError`.
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+_VIEWS = ("interest", "influence")
+
+
+# ----------------------------------------------------------------------
+# Small helpers
+# ----------------------------------------------------------------------
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def _read_json(path: Path) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _save_npz(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def _load_npz(path: Path) -> dict[str, np.ndarray]:
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+def save_pipeline(recommender: NPRecRecommender, directory: str | os.PathLike,
+                  corpus: Corpus | None = None,
+                  extra_metadata: dict | None = None) -> Path:
+    """Persist a fitted :class:`NPRecRecommender` to *directory*.
+
+    Parameters
+    ----------
+    recommender:
+        A fitted recommender (``fit`` must have been called).
+    directory:
+        Target directory; created if absent, files are overwritten.
+    corpus:
+        Optional source corpus — only used to harvest the
+        ``author id -> affiliation`` map so incrementally ingested papers
+        keep affiliation edges for known authors.
+    extra_metadata:
+        Free-form JSON-serialisable dict stored in the manifest (e.g.
+        the CLI records corpus scale/seed here).
+
+    Returns
+    -------
+    The artifact directory as a :class:`~pathlib.Path`.
+
+    Raises
+    ------
+    NotFittedError
+        If the recommender has not been fitted.
+    ArtifactError
+        If the pipeline contains components that cannot be persisted
+        (user-registered callable extra rules).
+    """
+    rec = recommender
+    if rec.model is None or rec.sem is None:
+        raise NotFittedError("cannot save an unfitted NPRecRecommender")
+    if rec.sem.extra_rules or (rec.sem.rules is not None
+                               and rec.sem.rules.extra_rules):
+        raise ArtifactError(
+            "cannot persist user-registered extra rules (arbitrary "
+            "callables); drop extra_rules or persist them out of band")
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    with obs.trace("serve.save_pipeline", directory=str(root)):
+        _write_json(root / "config.json", _config_payload(rec))
+        _write_json(root / "graph.json", rec.model.graph.to_payload())
+        affiliations: dict[str, str] = {}
+        if corpus is not None:
+            affiliations = {a.id: a.affiliation for a in corpus.authors
+                            if a.affiliation}
+        _write_json(root / "papers.json", {
+            "train_papers": [paper_to_dict(p)
+                             for p in rec._train_by_id.values()],
+            "author_affiliations": affiliations,
+        })
+        _write_json(root / "serve.json", {
+            "novelty": {pid: float(score)
+                        for pid, score in rec._novelty.items()},
+        })
+        _save_sem(rec.sem, root / "sem")
+        _save_model(rec.model, root / "model")
+        if rec._profile_text is not None:
+            _save_profile_text(rec._profile_text, root / "profile_text")
+
+        files = sorted(
+            str(p.relative_to(root)).replace(os.sep, "/")
+            for p in root.rglob("*")
+            if p.is_file() and p.name != MANIFEST_NAME)
+        manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "nprec-pipeline",
+            "files": {rel: _sha256(root / rel) for rel in files},
+            "counts": {
+                "entities": rec.model.graph.num_entities,
+                "edges": rec.model.graph.num_edges,
+                "train_papers": len(rec._train_by_id),
+            },
+            "extra": extra_metadata or {},
+        }
+        _write_json(root / MANIFEST_NAME, manifest)
+        obs.count("serve.artifact.saved")
+    return root
+
+
+def _config_payload(rec: NPRecRecommender) -> dict:
+    model = rec.model
+    assert model is not None
+    return {
+        "nprec_config": dataclasses.asdict(rec.config),
+        "model": {
+            "dim": model.dim,
+            "neighbor_k": model.neighbor_k,
+            "depth": model.depth,
+            "use_text": model.use_text,
+            "use_network": model.use_network,
+            "influence_citations": model.influence_citations,
+            "block_gates": list(model.block_gates),
+            "content_gate": model.content_gate,
+            "content_trained_gate": model.content_trained_gate,
+            "has_content": model.content_matrix is not None,
+        },
+        "has_profile_text": rec._profile_text is not None,
+    }
+
+
+def _save_sem(sem: SubspaceEmbeddingMethod, root: Path) -> None:
+    encoder = sem.encoder
+    network = sem.network
+    rules = sem.rules
+    if encoder is None or network is None or rules is None:
+        raise NotFittedError("cannot save an unfitted SEM pipeline")
+    _write_json(root / "encoder.json", {
+        "dim": encoder.dim,
+        "sif_a": encoder.sif_a,
+        "max_words": encoder.max_words,
+        "total_words": encoder._total_words,
+        "frequency": dict(encoder._frequency),
+    })
+    _save_npz(root / "encoder.npz", {"rotation": encoder._rotation})
+    root.mkdir(parents=True, exist_ok=True)
+    save_module(network, root / "network.npz")
+    mean, std = rules._require_fitted()
+    _save_npz(root / "rules.npz", {
+        "weights": np.asarray(rules.weights),
+        "mean": mean,
+        "std": std,
+    })
+    if sem.labeler is not None:
+        if sem.labeler.emission_ is None or sem.labeler.transition_ is None:
+            raise NotFittedError("SEM labeler exists but is not fitted")
+        _save_npz(root / "labeler.npz", {
+            "emission": sem.labeler.emission_,
+            "transition": sem.labeler.transition_,
+        })
+
+
+def _save_model(model: NPRecModel, root: Path) -> None:
+    _save_npz(root / "weights.npz", model.state_dict())
+    static: dict[str, np.ndarray] = {"nonpaper_mask": model._nonpaper_mask}
+    if model._text_matrix is not None:
+        static["text_matrix"] = model._text_matrix
+    if model._content_matrix is not None:
+        static["content_matrix"] = model._content_matrix
+    _save_npz(root / "static.npz", static)
+
+    fields: dict[str, np.ndarray] = {}
+    for view in _VIEWS:
+        keys = sorted(index for index, v in model._fields if v == view)
+        fields[f"{view}_nodes"] = np.asarray(keys, dtype=np.int64)
+        for hop in range(model.depth + 1):
+            rows = [model._fields[(index, view)][hop] for index in keys]
+            width = model.neighbor_k ** hop
+            stacked = (np.asarray(rows, dtype=np.int64) if rows
+                       else np.zeros((0, width), dtype=np.int64))
+            fields[f"{view}_hop{hop}"] = stacked
+    _save_npz(root / "fields.npz", fields)
+    _write_json(root / "field_rng.json",
+                {"state": model._field_rng.bit_generator.state})
+
+
+def _save_profile_text(module: JTIERecommender, root: Path) -> None:
+    if module.bilinear_ is None:
+        raise NotFittedError("profile-text module exists but is not fitted")
+    _write_json(root / "meta.json", {
+        "text_dim": module.text_dim,
+        "venue_rate": module._venue_rate,
+        "author_h": module._author_h,
+    })
+    arrays = {"bilinear.weight": module.bilinear_.weight.data}
+    head = module._head
+    arrays["head.weight"] = head.weight.data
+    if head.bias is not None:
+        arrays["head.bias"] = head.bias.data
+    _save_npz(root / "weights.npz", arrays)
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+def _verify_manifest(root: Path) -> dict:
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no {MANIFEST_NAME} in {root} — not an artifact "
+                            "directory (or the manifest was deleted)")
+    try:
+        manifest = _read_json(manifest_path)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ArtifactError(f"corrupt manifest {manifest_path}: {exc}") from exc
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"artifact at {root} has schema version {version!r}; this build "
+            f"reads version {SCHEMA_VERSION}. Re-save the pipeline with the "
+            "current code (artifacts are not forward/backward compatible).")
+    if manifest.get("kind") != "nprec-pipeline":
+        raise ArtifactError(
+            f"artifact kind {manifest.get('kind')!r} is not 'nprec-pipeline'")
+    bad: list[str] = []
+    for rel, checksum in manifest.get("files", {}).items():
+        path = root / rel
+        if not path.is_file():
+            bad.append(f"{rel} (missing)")
+        elif _sha256(path) != checksum:
+            bad.append(f"{rel} (checksum mismatch)")
+    if bad:
+        raise ArtifactError(
+            f"artifact at {root} failed integrity checks: {', '.join(bad)}")
+    return manifest
+
+
+def load_pipeline(directory: str | os.PathLike) -> NPRecRecommender:
+    """Reload a pipeline saved by :func:`save_pipeline`.
+
+    Verifies the manifest (schema version + per-file SHA-256) before
+    touching any payload, then reconstructs the recommender exactly:
+    ``rank()`` on the returned object is bit-identical to the original,
+    and the field-sampler RNG resumes mid-stream so even papers first
+    ranked *after* the round trip sample identical receptive fields.
+
+    Raises
+    ------
+    SchemaVersionError
+        If the artifact was written under a different schema version.
+    ArtifactError
+        If the manifest is missing/corrupt or any file fails its
+        checksum.
+    """
+    root = Path(directory)
+    with obs.trace("serve.load_pipeline", directory=str(root)):
+        manifest = _verify_manifest(root)
+        try:
+            return _rebuild(root, manifest)
+        except (KeyError, ValueError, OSError) as exc:
+            raise ArtifactError(
+                f"artifact at {root} passed integrity checks but could not "
+                f"be deserialised: {exc}") from exc
+
+
+def load_author_affiliations(directory: str | os.PathLike) -> dict[str, str]:
+    """The ``author id -> affiliation`` map stored in an artifact."""
+    payload = _read_json(Path(directory) / "papers.json")
+    return dict(payload.get("author_affiliations", {}))
+
+
+def _rebuild(root: Path, manifest: dict) -> NPRecRecommender:
+    config_payload = _read_json(root / "config.json")
+    nprec_dict = dict(config_payload["nprec_config"])
+    sem_dict = dict(nprec_dict.pop("sem"))
+    sem_dict["hidden_dims"] = tuple(sem_dict["hidden_dims"])
+    nprec_dict["block_gates"] = tuple(nprec_dict["block_gates"])
+    config = NPRecConfig(sem=SEMConfig(**sem_dict), **nprec_dict)
+
+    papers_payload = _read_json(root / "papers.json")
+    train_papers = [paper_from_dict(entry)
+                    for entry in papers_payload["train_papers"]]
+
+    rec = NPRecRecommender(config)
+    rec.sem = _load_sem(config.sem, root / "sem")
+    graph = HeterogeneousGraph.from_payload(_read_json(root / "graph.json"))
+    rec.model = _load_model(graph, config_payload["model"], root / "model")
+    rec._train_by_id = {p.id: p for p in train_papers}
+    rec._novelty = {pid: float(score) for pid, score in
+                    _read_json(root / "serve.json")["novelty"].items()}
+    if config_payload.get("has_profile_text"):
+        rec._profile_text = _load_profile_text(root / "profile_text",
+                                               train_papers)
+    obs.count("serve.artifact.loaded")
+    return rec
+
+
+def _load_sem(config: SEMConfig, root: Path) -> SubspaceEmbeddingMethod:
+    sem = SubspaceEmbeddingMethod(config)
+    meta = _read_json(root / "encoder.json")
+    encoder = SentenceEncoder(dim=int(meta["dim"]), sif_a=float(meta["sif_a"]),
+                              max_words=int(meta["max_words"]))
+    encoder._rotation = _load_npz(root / "encoder.npz")["rotation"]
+    encoder._frequency = Counter(
+        {word: int(count) for word, count in meta["frequency"].items()})
+    encoder._total_words = int(meta["total_words"])
+    sem.encoder = encoder
+
+    rules_arrays = _load_npz(root / "rules.npz")
+    rules = ExpertRuleSet(encoder, num_subspaces=config.num_subspaces)
+    rules._mean = rules_arrays["mean"]
+    rules._std = rules_arrays["std"]
+    rules.set_weights(rules_arrays["weights"])
+    sem.rules = rules
+
+    network = SubspaceEmbeddingNetwork(
+        in_dim=config.encoder_dim, hidden_dims=config.hidden_dims,
+        out_dim=config.out_dim, num_subspaces=config.num_subspaces,
+        context_weight=config.context_weight, rng=0)
+    load_module(network, root / "network.npz")
+    sem.network = network
+
+    labeler_path = root / "labeler.npz"
+    if labeler_path.is_file():
+        arrays = _load_npz(labeler_path)
+        labeler = SequenceLabeler(num_labels=config.num_subspaces,
+                                  epochs=config.labeler_epochs)
+        labeler.emission_ = arrays["emission"]
+        labeler.transition_ = arrays["transition"]
+        sem.labeler = labeler
+    return sem
+
+
+def _load_model(graph: HeterogeneousGraph, arch: dict,
+                root: Path) -> NPRecModel:
+    static = _load_npz(root / "static.npz")
+    text_matrix = static.get("text_matrix")
+    content_matrix = static.get("content_matrix")
+    paper_rows = {graph.key_of(i).id: i
+                  for i in graph.entities_of_type("paper")}
+    text_vectors = None
+    if arch["use_text"]:
+        if text_matrix is None:
+            raise ArtifactError("use_text model without a persisted text matrix")
+        text_vectors = {pid: text_matrix[row]
+                        for pid, row in paper_rows.items()}
+    content_vectors = None
+    if arch["has_content"]:
+        if content_matrix is None:
+            raise ArtifactError("content model without a persisted content matrix")
+        content_vectors = {pid: content_matrix[row]
+                           for pid, row in paper_rows.items()}
+
+    model = NPRecModel(
+        graph, text_vectors, dim=int(arch["dim"]),
+        neighbor_k=int(arch["neighbor_k"]), depth=int(arch["depth"]),
+        use_text=bool(arch["use_text"]), use_network=bool(arch["use_network"]),
+        influence_citations=bool(arch["influence_citations"]),
+        content_vectors=content_vectors, seed=0)
+    # Overwrite every derived array with the exact persisted bytes: the
+    # constructor re-normalises content rows and re-draws init weights,
+    # neither of which is guaranteed bit-stable across numpy builds.
+    model.block_gates = [float(g) for g in arch["block_gates"]]
+    model.content_gate = float(arch["content_gate"])
+    model.content_trained_gate = float(arch["content_trained_gate"])
+    model._nonpaper_mask = static["nonpaper_mask"]
+    if text_matrix is not None:
+        model._text_matrix = text_matrix
+    if content_matrix is not None:
+        model._content_matrix = content_matrix
+    model.load_state_dict(_load_npz(root / "weights.npz"))
+
+    fields = _load_npz(root / "fields.npz")
+    restored: dict[tuple[int, str], list[np.ndarray]] = {}
+    for view in _VIEWS:
+        nodes = fields[f"{view}_nodes"]
+        hops = [fields[f"{view}_hop{hop}"] for hop in range(model.depth + 1)]
+        for position, index in enumerate(nodes):
+            restored[(int(index), view)] = [
+                hop_matrix[position].astype(int) for hop_matrix in hops]
+    model._fields = restored
+    rng = np.random.default_rng(0)
+    rng.bit_generator.state = _read_json(root / "field_rng.json")["state"]
+    model._field_rng = rng
+    model._layer_cache.clear()
+    return model
+
+
+def _load_profile_text(root: Path,
+                       train_papers: list) -> JTIERecommender:
+    from repro.baselines.content import TfIdfIndex
+
+    meta = _read_json(root / "meta.json")
+    module = JTIERecommender(text_dim=int(meta["text_dim"]), seed=0)
+    # The TF-IDF transform is a pure function of the (persisted) training
+    # papers, so refitting reproduces the fit-time vocabulary exactly.
+    module._tfidf = TfIdfIndex(max_features=module.text_dim * 20).fit(train_papers)
+    module._venue_rate = {k: float(v) for k, v in meta["venue_rate"].items()}
+    module._author_h = {k: float(v) for k, v in meta["author_h"].items()}
+    arrays = _load_npz(root / "weights.npz")
+    dim = arrays["bilinear.weight"].shape[1]
+    if dim != module._tfidf.dim + 3:
+        raise ArtifactError(
+            f"profile-text vocabulary drift: persisted bilinear expects "
+            f"{dim} features, refit TF-IDF produced {module._tfidf.dim + 3}")
+    module.bilinear_ = Linear(dim, arrays["bilinear.weight"].shape[0],
+                              bias=False, rng=0)
+    module.bilinear_.weight.data = arrays["bilinear.weight"].copy()
+    head = Linear(arrays["head.weight"].shape[1],
+                  arrays["head.weight"].shape[0],
+                  bias="head.bias" in arrays, rng=0)
+    head.weight.data = arrays["head.weight"].copy()
+    if head.bias is not None:
+        head.bias.data = arrays["head.bias"].copy()
+    module._head = head
+    return module

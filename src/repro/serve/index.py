@@ -1,0 +1,384 @@
+"""Online serving: precomputed embeddings, blockwise top-K, ingestion.
+
+:class:`ServingIndex` is the query-side half of :mod:`repro.serve`. It
+holds a *candidate pool* of papers with their influence representations
+precomputed as one matrix, plus precomputed interest profiles for
+registered users, and answers top-K queries with a bounded heap over
+fixed-size matmul blocks — memory stays ``O(block_size * dim + K)`` per
+query regardless of pool size (the ROADMAP's production-scale serving
+condition).
+
+Scoring matches :meth:`NPRecRecommender._rank`'s correlation term —
+``mix * max + (1 - mix) * mean`` over the user's interest vectors — with
+two documented serving simplifications: the potential-influence term
+z-scores novelty over the whole pool once (not per candidate set, and
+without the per-query correlation-spread multiplier), and the
+profile-text blend is omitted (it requires a full re-rank per query,
+which contradicts blockwise retrieval).
+
+New papers enter through :meth:`ServingIndex.add_paper` — the Sec. IV-E
+cold-start path at serving time: SEM subspace embedding, metadata-only
+graph attachment, embedding imputation from neighbours. No retraining.
+
+Degradation is graceful and observable: an unloadable artifact
+(:meth:`ServingIndex.from_artifact`) or a query touching entities the
+model has never seen falls back to TF-IDF content ranking, counting
+``serve.degraded`` with a ``reason`` label.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.baselines.content import TfIdfIndex
+from repro.core.nprec.recommend import NPRecRecommender
+from repro.data.schema import Paper
+from repro.errors import ArtifactError, GraphError, NotFittedError
+from repro.graph.builder import attach_paper_to_network
+
+
+class ServingIndex:
+    """Blockwise top-K retrieval over a pool of recommendable papers.
+
+    Parameters
+    ----------
+    recommender:
+        A fitted :class:`NPRecRecommender`, or ``None`` for a degraded
+        (TF-IDF only) index.
+    papers:
+        The initial candidate pool. Papers already in the model's graph
+        (e.g. the fit-time new papers) are indexed directly; papers the
+        model has never seen are ingested through :meth:`add_paper`.
+    author_affiliations:
+        ``author id -> affiliation`` map so ingested papers keep
+        affiliation edges for known authors (see
+        :func:`repro.serve.artifacts.load_author_affiliations`).
+    block_size:
+        Candidates scored per matmul block during retrieval.
+    cache_size:
+        Bound on the LRU query cache (distinct ``(user, k)`` entries).
+    """
+
+    def __init__(self, recommender: NPRecRecommender | None,
+                 papers: Sequence[Paper] = (),
+                 author_affiliations: dict[str, str] | None = None,
+                 block_size: int = 512, cache_size: int = 128) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if recommender is not None and (recommender.model is None
+                                        or recommender.sem is None):
+            raise NotFittedError("ServingIndex needs a *fitted* recommender")
+        self.block_size = block_size
+        self.cache_size = cache_size
+        self._recommender = recommender
+        self._affiliations = dict(author_affiliations or {})
+        self._papers: list[Paper] = []
+        self._ids: list[str] = []
+        self._positions: dict[str, int] = {}
+        self._influence: np.ndarray | None = None
+        self._novelty_raw: list[float] = []
+        self._novelty_z: np.ndarray | None = None
+        #: user id -> (profile papers, precomputed interest matrix or None)
+        self._profiles: dict[str, tuple[list[Paper], np.ndarray | None]] = {}
+        self._cache: "OrderedDict[tuple, tuple[str, ...]]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._fallback_tfidf: TfIdfIndex | None = None
+        self._fallback_matrix: np.ndarray | None = None
+
+        papers = list(papers)
+        if self.degraded:
+            for paper in papers:
+                self._append(paper, None)
+        else:
+            graph = recommender.model.graph
+            known = [p for p in papers if ("paper", p.id) in graph]
+            if known:
+                rows = self._influence_rows([p.id for p in known])
+                for paper, row in zip(known, rows):
+                    self._append(paper, row)
+            for paper in papers:
+                if ("paper", paper.id) not in graph:
+                    self.add_paper(paper)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True when no model is available and every query is TF-IDF."""
+        return self._recommender is None
+
+    @property
+    def num_papers(self) -> int:
+        """Current candidate-pool size."""
+        return len(self._papers)
+
+    @property
+    def paper_ids(self) -> list[str]:
+        """Pool paper ids, in insertion order."""
+        return list(self._ids)
+
+    # ------------------------------------------------------------------
+    # Construction from an artifact
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(cls, directory, papers: Sequence[Paper] = (),
+                      block_size: int = 512,
+                      cache_size: int = 128) -> "ServingIndex":
+        """Build an index from a saved artifact, degrading on failure.
+
+        A corrupt, missing, or wrong-schema artifact does **not** raise:
+        the index comes up in degraded TF-IDF mode (``serve.degraded``
+        counted with ``reason="artifact_load_failed"``) so the service
+        keeps answering, just without the learned model.
+        """
+        from repro.serve.artifacts import (load_author_affiliations,
+                                           load_pipeline)
+        try:
+            recommender = load_pipeline(directory)
+            affiliations = load_author_affiliations(directory)
+        except ArtifactError as exc:
+            obs.count("serve.degraded", reason="artifact_load_failed")
+            obs.count("serve.artifact.load_failures")
+            with obs.trace("serve.degraded_startup", error=str(exc)):
+                return cls(None, papers, block_size=block_size,
+                           cache_size=cache_size)
+        return cls(recommender, papers, author_affiliations=affiliations,
+                   block_size=block_size, cache_size=cache_size)
+
+    # ------------------------------------------------------------------
+    # Pool maintenance
+    # ------------------------------------------------------------------
+    def add_paper(self, paper: Paper) -> int:
+        """Ingest one newly published paper without retraining.
+
+        Runs the model's cold-start path — SEM fused text embedding with
+        the fit-time encoder, lexical content row with the fit-time
+        TF-IDF vocabulary, metadata-only graph attachment, base-embedding
+        imputation from neighbours — then precomputes the paper's
+        influence row and invalidates the query cache. In degraded mode
+        the paper simply joins the TF-IDF pool.
+
+        Returns the paper's position in the pool.
+        """
+        if paper.id in self._positions:
+            raise ValueError(f"paper {paper.id!r} is already in the pool")
+        if self.degraded:
+            self._append(paper, None)
+            obs.count("serve.papers_ingested", mode="degraded")
+            self._invalidate()
+            return self._positions[paper.id]
+
+        rec = self._recommender
+        model = rec.model
+        graph = model.graph
+        with obs.trace("serve.add_paper", paper=paper.id):
+            if ("paper", paper.id) in graph:
+                # Known to the model (e.g. a fit-time paper joining the
+                # pool late): no graph/model mutation needed.
+                row = self._influence_rows([paper.id])[0]
+            else:
+                text_vector = None
+                if model.use_text:
+                    text_vector = rec.sem.fused_embeddings([paper])[0]
+                content_vector = None
+                if model.content_matrix is not None:
+                    content_vector = self._content_tfidf().transform(paper)
+                index = attach_paper_to_network(graph, paper,
+                                                self._affiliations)
+                model.attach_paper(index, text_vector=text_vector,
+                                   content_vector=content_vector)
+                row = self._influence_rows([paper.id])[0]
+            obs.count("serve.papers_ingested")
+        self._append(paper, row)
+        self._invalidate()
+        return self._positions[paper.id]
+
+    def register_user(self, user_id: str, user_papers: Sequence[Paper]) -> None:
+        """Precompute and store the interest profile of one user.
+
+        Queries for *user_id* then skip the per-query interest forward
+        pass. A profile containing papers the model has never seen is
+        stored without an interest matrix — queries for that user serve
+        through the TF-IDF fallback (counted as degraded).
+        """
+        papers = list(user_papers)
+        if not papers:
+            raise ValueError("user profile needs at least one paper")
+        profile: np.ndarray | None = None
+        if not self.degraded:
+            try:
+                profile = self._recommender.model.interest_vectors(
+                    [p.id for p in papers]).data
+            except GraphError:
+                obs.count("serve.degraded", reason="unknown_entity")
+        self._profiles[user_id] = (papers, profile)
+        self._drop_cached_user(user_id)
+
+    def invalidate(self) -> None:
+        """Explicitly drop every cached query result."""
+        self._cache.clear()
+
+    def _invalidate(self) -> None:
+        self._cache.clear()
+        self._novelty_z = None
+        self._fallback_matrix = None
+
+    def _drop_cached_user(self, user_key: str) -> None:
+        for key in [k for k in self._cache if k[0] == user_key]:
+            del self._cache[key]
+
+    def _append(self, paper: Paper, influence_row: np.ndarray | None) -> None:
+        self._positions[paper.id] = len(self._papers)
+        self._papers.append(paper)
+        self._ids.append(paper.id)
+        novelty = 0.0
+        if self._recommender is not None:
+            novelty = self._recommender._novelty.get(paper.id, 0.0)
+        self._novelty_raw.append(float(novelty))
+        if influence_row is not None:
+            row = influence_row.reshape(1, -1)
+            self._influence = (row if self._influence is None
+                               else np.vstack([self._influence, row]))
+
+    def _influence_rows(self, paper_ids: Sequence[str]) -> np.ndarray:
+        model = self._recommender.model
+        blocks = [model.influence_vectors(
+            paper_ids[start:start + self.block_size]).data
+            for start in range(0, len(paper_ids), self.block_size)]
+        return np.vstack(blocks)
+
+    def _content_tfidf(self) -> TfIdfIndex:
+        rec = self._recommender
+        if rec.content_tfidf_ is None:
+            # After load_pipeline the fit-time content vocabulary is not
+            # materialised; it is a pure function of the persisted train
+            # papers (in order), so refitting reproduces it exactly.
+            rec.content_tfidf_ = TfIdfIndex(max_features=3000).fit(
+                list(rec._train_by_id.values()))
+        return rec.content_tfidf_
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def top_k(self, user: "str | Sequence[Paper]", k: int = 10) -> list[str]:
+        """Ids of the top-*k* pool papers for *user*, best first.
+
+        *user* is either a registered user id or an ad-hoc sequence of
+        the user's papers. Results are LRU-cached per ``(user, k)`` until
+        the pool changes or :meth:`invalidate` is called.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if isinstance(user, str):
+            if user not in self._profiles:
+                raise KeyError(f"user {user!r} is not registered "
+                               "(call register_user first)")
+            user_key: tuple | str = user
+            papers, profile = self._profiles[user]
+        else:
+            papers = list(user)
+            if not papers:
+                raise ValueError("user has no representative papers")
+            user_key = tuple(p.id for p in papers)
+            profile = None
+        obs.count("serve.queries")
+        cache_key = (user_key, int(k))
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            self._cache.move_to_end(cache_key)
+            self.cache_hits += 1
+            obs.count("serve.cache", outcome="hit")
+            return list(cached)
+        self.cache_misses += 1
+        obs.count("serve.cache", outcome="miss")
+        result = self._query(papers, profile, k)
+        self._cache[cache_key] = tuple(result)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return result
+
+    def _query(self, user_papers: list[Paper],
+               profile: np.ndarray | None, k: int) -> list[str]:
+        if not self._papers:
+            return []
+        if self.degraded:
+            obs.count("serve.degraded", reason="no_model")
+            return self._fallback_rank(user_papers, k)
+        interest = profile
+        if interest is None:
+            try:
+                interest = self._recommender.model.interest_vectors(
+                    [p.id for p in user_papers]).data
+            except GraphError:
+                obs.count("serve.degraded", reason="unknown_entity")
+                return self._fallback_rank(user_papers, k)
+        return self._blockwise_top_k(interest, k)
+
+    def _blockwise_top_k(self, interest: np.ndarray, k: int) -> list[str]:
+        assert self._influence is not None
+        cfg = self._recommender.config
+        mix = cfg.max_pool_mix
+        novelty = (self._novelty_scores() if cfg.influence_weight > 0
+                   else None)
+        # Bounded min-heap of (score, -position): ties between equal
+        # scores resolve toward the lower pool position, matching the
+        # stable mergesort ordering of the offline ranker.
+        heap: list[tuple[float, int]] = []
+        for start in range(0, len(self._papers), self.block_size):
+            block = self._influence[start:start + self.block_size]
+            pairwise = interest @ block.T
+            scores = (mix * pairwise.max(axis=0)
+                      + (1.0 - mix) * pairwise.mean(axis=0))
+            if novelty is not None:
+                scores = scores + cfg.influence_weight * \
+                    novelty[start:start + self.block_size]
+            for offset, score in enumerate(scores):
+                entry = (float(score), -(start + offset))
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapq.heapreplace(heap, entry)
+        ordered = sorted(heap, reverse=True)
+        return [self._ids[-position] for _, position in ordered]
+
+    def _novelty_scores(self) -> np.ndarray:
+        if self._novelty_z is None:
+            raw = np.asarray(self._novelty_raw)
+            spread = raw.std()
+            self._novelty_z = ((raw - raw.mean()) / spread
+                               if spread > 1e-12 else np.zeros_like(raw))
+        return self._novelty_z
+
+    # ------------------------------------------------------------------
+    # Degraded path
+    # ------------------------------------------------------------------
+    def _fallback_rank(self, user_papers: list[Paper], k: int) -> list[str]:
+        tfidf, matrix = self._fallback()
+        profile = np.mean([tfidf.transform(p) for p in user_papers], axis=0)
+        scores = matrix @ profile
+        order = np.argsort(-scores, kind="mergesort")[:k]
+        return [self._ids[i] for i in order]
+
+    def _fallback(self) -> tuple[TfIdfIndex, np.ndarray]:
+        if self._fallback_tfidf is None:
+            # Vocabulary from the historical slice when a model is
+            # around (matches the offline content baseline); from the
+            # pool itself when fully degraded.
+            if self._recommender is not None and self._recommender._train_by_id:
+                corpus = list(self._recommender._train_by_id.values())
+            else:
+                corpus = self._papers
+            self._fallback_tfidf = TfIdfIndex().fit(corpus)
+        if self._fallback_matrix is None:
+            self._fallback_matrix = self._fallback_tfidf.transform_many(
+                self._papers)
+        return self._fallback_tfidf, self._fallback_matrix

@@ -1,0 +1,160 @@
+"""Artifact store tests: exact round trip + loud failure modes."""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.nprec import NPRecRecommender
+from repro.core.rules import venue_difference
+from repro.errors import ArtifactError, NotFittedError, SchemaVersionError
+from repro.serve import (
+    SCHEMA_VERSION,
+    load_author_affiliations,
+    load_pipeline,
+    save_pipeline,
+)
+
+
+def _copy(artifact_dir, tmp_path):
+    target = tmp_path / "copy"
+    shutil.copytree(artifact_dir, target)
+    return target
+
+
+class TestRoundTrip:
+    def test_rank_is_bit_identical(self, artifact):
+        # The loaded copy must replay the same query sequence the
+        # original ran after saving (field sampling advances a persisted
+        # RNG mid-stream).
+        directory, baseline = artifact
+        reloaded = load_pipeline(directory)
+        user = baseline["user"]
+        head = reloaded.rank(list(user.train_papers), user.candidate_set(20))
+        full = reloaded.rank(list(user.train_papers), list(user.candidates))
+        assert head == baseline["head"]
+        assert full == baseline["full"]
+
+    def test_two_loads_are_identical(self, artifact, serve_task):
+        directory, _ = artifact
+        first = load_pipeline(directory)
+        second = load_pipeline(directory)
+        user = serve_task.users[1]
+        papers = list(user.train_papers)
+        candidates = user.candidate_set(30)
+        assert first.rank(papers, candidates) == second.rank(papers, candidates)
+
+    def test_model_state_is_exact(self, artifact, fitted_recommender):
+        directory, _ = artifact
+        reloaded = load_pipeline(directory)
+        original = fitted_recommender
+        state_a = original.model.state_dict()
+        state_b = reloaded.model.state_dict()
+        assert sorted(state_a) == sorted(state_b)
+        for name in state_a:
+            assert np.array_equal(state_a[name], state_b[name]), name
+        assert np.array_equal(original.model._nonpaper_mask[:len(reloaded.model._nonpaper_mask)],
+                              reloaded.model._nonpaper_mask)
+        assert reloaded.model.graph.to_payload() == \
+            original.model.graph.to_payload()
+        assert reloaded.model.block_gates == original.model.block_gates
+        assert reloaded.config == original.config
+        assert reloaded._novelty == original._novelty
+        assert sorted(reloaded._train_by_id) == sorted(original._train_by_id)
+
+    def test_sem_components_restored(self, artifact, fitted_recommender):
+        directory, _ = artifact
+        reloaded = load_pipeline(directory)
+        sem_a, sem_b = fitted_recommender.sem, reloaded.sem
+        assert np.array_equal(sem_a.encoder._rotation, sem_b.encoder._rotation)
+        assert sem_a.encoder._frequency == sem_b.encoder._frequency
+        assert np.array_equal(sem_a.rules.weights, sem_b.rules.weights)
+        for key, value in sem_a.network.state_dict().items():
+            assert np.array_equal(value, sem_b.network.state_dict()[key]), key
+
+    def test_affiliations_persisted(self, artifact, serve_task):
+        directory, _ = artifact
+        affiliations = load_author_affiliations(directory)
+        expected = {a.id: a.affiliation for a in serve_task.corpus.authors
+                    if a.affiliation}
+        assert affiliations == expected
+
+
+class TestFailureModes:
+    def test_unfitted_recommender_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_pipeline(NPRecRecommender(), tmp_path / "x")
+
+    def test_extra_rules_rejected(self, artifact, fitted_recommender,
+                                  tmp_path):
+        fitted_recommender.sem.extra_rules = [("venue", venue_difference)]
+        try:
+            with pytest.raises(ArtifactError, match="extra rules"):
+                save_pipeline(fitted_recommender, tmp_path / "x")
+        finally:
+            fitted_recommender.sem.extra_rules = []
+
+    def test_missing_manifest(self, artifact, tmp_path):
+        directory = _copy(artifact[0], tmp_path)
+        (directory / "manifest.json").unlink()
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_pipeline(directory)
+
+    def test_corrupt_manifest_json(self, artifact, tmp_path):
+        directory = _copy(artifact[0], tmp_path)
+        (directory / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ArtifactError, match="corrupt manifest"):
+            load_pipeline(directory)
+
+    def test_wrong_schema_version(self, artifact, tmp_path):
+        directory = _copy(artifact[0], tmp_path)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 999
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SchemaVersionError, match="schema version"):
+            load_pipeline(directory)
+
+    def test_schema_error_is_artifact_error(self):
+        # Callers catching the broad class also see version mismatches.
+        assert issubclass(SchemaVersionError, ArtifactError)
+
+    def test_tampered_file_fails_checksum(self, artifact, tmp_path):
+        directory = _copy(artifact[0], tmp_path)
+        target = directory / "config.json"
+        payload = json.loads(target.read_text())
+        payload["nprec_config"]["dim"] = 999
+        target.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="config.json"):
+            load_pipeline(directory)
+
+    def test_missing_payload_file(self, artifact, tmp_path):
+        directory = _copy(artifact[0], tmp_path)
+        (directory / "serve.json").unlink()
+        with pytest.raises(ArtifactError, match="serve.json"):
+            load_pipeline(directory)
+
+    def test_wrong_kind_rejected(self, artifact, tmp_path):
+        directory = _copy(artifact[0], tmp_path)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["kind"] = "something-else"
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="kind"):
+            load_pipeline(directory)
+
+
+class TestManifest:
+    def test_manifest_contents(self, artifact, fitted_recommender):
+        directory, _ = artifact
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["kind"] == "nprec-pipeline"
+        counts = manifest["counts"]
+        assert counts["train_papers"] == len(fitted_recommender._train_by_id)
+        assert counts["entities"] > counts["train_papers"]
+        # Every listed file exists and every payload file is listed.
+        files = set(manifest["files"])
+        on_disk = {str(p.relative_to(directory)).replace("\\", "/")
+                   for p in directory.rglob("*")
+                   if p.is_file() and p.name != "manifest.json"}
+        assert files == on_disk

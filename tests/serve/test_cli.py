@@ -1,0 +1,61 @@
+"""CLI tests: warmup -> query against a real artifact, plus arg handling."""
+
+import json
+
+import pytest
+
+from repro.serve.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def warm_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli") / "artifact"
+    code = main(["warmup", "--dir", str(directory), "--scale", "0.3",
+                 "--seed", "0", "--users", "6"])
+    assert code == 0
+    return directory
+
+
+class TestWarmup:
+    def test_writes_artifact_with_metadata(self, warm_dir):
+        manifest = json.loads((warm_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "nprec-pipeline"
+        assert manifest["extra"]["corpus"] == "acm"
+        assert manifest["extra"]["scale"] == 0.3
+
+
+class TestQuery:
+    def test_query_prints_topk(self, warm_dir, capsys):
+        code = main(["query", "--dir", str(warm_dir), "-k", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top-5" in out
+        # Five ranked lines, numbered.
+        assert out.count("\n  ") >= 5
+
+    def test_unknown_user_is_an_error(self, warm_dir, capsys):
+        code = main(["query", "--dir", str(warm_dir), "--user", "nobody"])
+        assert code == 2
+        assert "unknown user" in capsys.readouterr().err
+
+    def test_degraded_query_warns_but_serves(self, warm_dir, tmp_path,
+                                             capsys):
+        import shutil
+        broken = tmp_path / "broken"
+        shutil.copytree(warm_dir, broken)
+        (broken / "serve.json").write_text("tampered")
+        code = main(["query", "--dir", str(broken), "-k", "3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "degraded" in captured.err
+        assert "top-3" in captured.out
+
+
+class TestParsing:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
