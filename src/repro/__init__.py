@@ -42,8 +42,11 @@ from repro.errors import (
     ConvergenceError,
     DataError,
     GraphError,
+    InjectedFault,
     NotFittedError,
+    NumericalError,
     ReproError,
+    RetryExhaustedError,
     ShapeError,
 )
 
@@ -61,5 +64,6 @@ __all__ = [
     "load_acm", "load_scopus", "load_pubmed_rct", "load_patents",
     # errors
     "ReproError", "ConfigError", "ShapeError", "GraphError", "DataError",
-    "NotFittedError", "ConvergenceError",
+    "NotFittedError", "ConvergenceError", "NumericalError", "InjectedFault",
+    "RetryExhaustedError",
 ]

@@ -27,6 +27,7 @@ from repro.core.subspace_model import SubspaceEmbeddingNetwork
 from repro.core.twin import TwinNetworkTrainer, TrainHistory
 from repro.data.schema import Paper
 from repro.errors import NotFittedError
+from repro.resilience import faults
 from repro.text.sentence_encoder import SentenceEncoder
 from repro.text.sequence_labeler import SUBSPACE_NAMES, SequenceLabeler
 from repro.utils.rng import as_generator
@@ -222,6 +223,9 @@ class SubspaceEmbeddingMethod:
         cached = self._embedding_cache.get(paper.id)
         if cached is not None:
             return cached
+        # Fault site covers the actual compute only — cache hits above
+        # model a fault-free fast path.
+        faults.maybe_fail("sem.embed")
         sentence_vectors, labels = self._encode_paper(paper)
         result = network.embed(sentence_vectors, labels)
         self._embedding_cache[paper.id] = result

@@ -12,6 +12,9 @@ import os
 
 from repro.data.corpus import Corpus
 from repro.data.schema import Author, Paper, Venue
+from repro.errors import DataError, InjectedFault
+from repro.resilience import faults
+from repro.resilience.retry import Backoff, retry
 
 
 def paper_to_dict(paper: Paper) -> dict:
@@ -63,22 +66,83 @@ def corpus_to_dict(corpus: Corpus) -> dict:
 
 
 def corpus_from_dict(payload: dict, strict: bool = True) -> Corpus:
-    """Inverse of :func:`corpus_to_dict`."""
-    papers = [paper_from_dict(entry) for entry in payload["papers"]]
-    authors = [Author(**entry) for entry in payload.get("authors", [])]
-    venues = [Venue(**entry) for entry in payload.get("venues", [])]
-    return Corpus(payload["name"], papers, authors=authors, venues=venues,
+    """Inverse of :func:`corpus_to_dict`.
+
+    Raises
+    ------
+    DataError
+        When the payload is missing a required key (naming the key and,
+        for per-record failures, the offending entry) instead of leaking
+        a raw ``KeyError``/``TypeError`` from deep inside the schema.
+    """
+    try:
+        name = payload["name"]
+        entries = payload["papers"]
+    except KeyError as exc:
+        raise DataError(
+            f"corpus payload missing required key {exc.args[0]!r}") from exc
+    papers = []
+    for i, entry in enumerate(entries):
+        try:
+            papers.append(paper_from_dict(entry))
+        except KeyError as exc:
+            raise DataError(
+                f"paper entry #{i} (id={entry.get('id', '<missing>')!r}) "
+                f"missing required key {exc.args[0]!r}") from exc
+    try:
+        authors = [Author(**entry) for entry in payload.get("authors", [])]
+        venues = [Venue(**entry) for entry in payload.get("venues", [])]
+    except TypeError as exc:
+        raise DataError(f"malformed author/venue entry: {exc}") from exc
+    return Corpus(name, papers, authors=authors, venues=venues,
                   strict=strict)
 
 
 def save_corpus(corpus: Corpus, path: str | os.PathLike) -> None:
-    """Write *corpus* to a JSON file."""
-    with open(os.fspath(path), "w", encoding="utf-8") as handle:
-        json.dump(corpus_to_dict(corpus), handle)
+    """Write *corpus* to a JSON file, atomically.
+
+    The payload goes to a same-directory temp file which is fsynced and
+    then renamed over *path* (``os.replace``), so a crash mid-dump never
+    leaves a truncated file — an existing corpus at *path* survives
+    intact until the new bytes are durably complete.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(corpus_to_dict(corpus), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+@retry(attempts=3, backoff=Backoff(base=0.01), retry_on=(InjectedFault,),
+       name="data.load_corpus")
+def _read_corpus_payload(path: str) -> dict:
+    faults.maybe_fail("data.load_corpus")
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def load_corpus(path: str | os.PathLike, strict: bool = True) -> Corpus:
     """Read a corpus previously written by :func:`save_corpus` (or dumped
-    into the same schema from external data)."""
-    with open(os.fspath(path), encoding="utf-8") as handle:
-        return corpus_from_dict(json.load(handle), strict=strict)
+    into the same schema from external data).
+
+    Raises
+    ------
+    DataError
+        When the file is not valid JSON or the payload violates the
+        corpus schema; the message names *path* and the offending key.
+    """
+    path = os.fspath(path)
+    try:
+        payload = _read_corpus_payload(path)
+    except json.JSONDecodeError as exc:
+        raise DataError(f"corrupt corpus JSON at {path}: {exc}") from exc
+    try:
+        return corpus_from_dict(payload, strict=strict)
+    except DataError as exc:
+        raise DataError(f"{path}: {exc}") from exc

@@ -43,3 +43,49 @@ class ArtifactError(ReproError):
 
 class SchemaVersionError(ArtifactError):
     """A persisted artifact was written under an incompatible schema."""
+
+
+class NumericalError(ReproError):
+    """Training produced non-finite or diverging numerics.
+
+    Raised by the :mod:`repro.resilience.guards` checks when a loss or
+    gradient goes NaN/Inf, or when the epoch loss exceeds the divergence
+    bound relative to the best loss seen so far. Trainers configured with
+    a guard catch this internally to roll back to the last good
+    checkpoint; without a guard it propagates to the caller.
+    """
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by the fault-injection harness.
+
+    Produced only by :func:`repro.resilience.faults.maybe_fail` when an
+    active :class:`~repro.resilience.faults.FaultPlan` fires at a hooked
+    site — never by real failures — so recovery paths can be exercised
+    deterministically in tests and chaos CI runs.
+    """
+
+    def __init__(self, message: str, *, site: str = "", draw: int = -1) -> None:
+        super().__init__(message)
+        #: The fault site that fired (e.g. ``"artifact.verify"``).
+        self.site = site
+        #: Zero-based index of the random draw at that site which fired.
+        self.draw = draw
+
+
+class RetryExhaustedError(ReproError):
+    """Every attempt of a retried operation failed.
+
+    Raised by :func:`repro.resilience.retry.retry` after its final
+    attempt, carrying the full attempt log (one entry per failed attempt,
+    in order) so callers and tests can inspect exactly what failed and
+    how the deterministic backoff progressed.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 attempt_log: tuple = ()) -> None:
+        super().__init__(message)
+        #: Number of attempts that were made before giving up.
+        self.attempts = attempts
+        #: Tuple of :class:`repro.resilience.retry.RetryAttempt` records.
+        self.attempt_log = tuple(attempt_log)

@@ -93,6 +93,43 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict:
+        """Copy of the optimiser state: step count, lr, first/second moments.
+
+        Together with the model's ``state_dict`` and the shuffle RNG state
+        this is everything needed to resume training bit-identically (see
+        :mod:`repro.resilience.checkpoint`).
+        """
+        return {
+            "t": self._t,
+            "lr": self.lr,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` (strict shape match).
+
+        Validated against the managed parameters before anything is
+        written, so a mismatched state (e.g. from a differently shaped
+        model) raises without partially overwriting the moments.
+        """
+        moments_m = [np.asarray(m, dtype=np.float64) for m in state["m"]]
+        moments_v = [np.asarray(v, dtype=np.float64) for v in state["v"]]
+        if len(moments_m) != len(self.params) or len(moments_v) != len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(moments_m)}/{len(moments_v)} "
+                f"moment arrays for {len(self.params)} parameters")
+        for i, (param, m, v) in enumerate(zip(self.params, moments_m, moments_v)):
+            if m.shape != param.data.shape or v.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch at parameter {i}: "
+                    f"param {param.data.shape}, m {m.shape}, v {v.shape}")
+        self._t = int(state["t"])
+        self.lr = float(state["lr"])
+        self._m = [m.copy() for m in moments_m]
+        self._v = [v.copy() for v in moments_v]
+
 
 class StepLR:
     """Multiply the optimiser learning rate by *gamma* every *step_size* epochs."""

@@ -1,0 +1,120 @@
+"""Deterministic retry with exponential backoff and a full attempt log.
+
+The :func:`retry` decorator re-runs a callable on a configurable set of
+exception types, sleeping a *deterministic* exponential-backoff delay
+between attempts (no jitter — reproducibility beats thundering-herd
+avoidance at this scale). When every attempt fails it raises
+:class:`~repro.errors.RetryExhaustedError` carrying the ordered attempt
+log, so callers can degrade gracefully and tests can assert exactly what
+happened on each attempt.
+
+The sleep function is injectable, which keeps unit tests instant and
+lets servers substitute an async-friendly sleeper.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Callable, NamedTuple, TypeVar
+
+from repro import obs
+from repro.errors import RetryExhaustedError
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Deterministic exponential backoff schedule.
+
+    Attempt *n* (1-based) waits ``min(base * factor**(n-1), max_delay)``
+    seconds before the next attempt.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1, got {self.factor}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt numbers are 1-based, got {attempt}")
+        return min(self.base * self.factor ** (attempt - 1), self.max_delay)
+
+
+class RetryAttempt(NamedTuple):
+    """One failed attempt: its ordinal, the error, and the delay slept."""
+
+    attempt: int
+    error: BaseException
+    delay: float
+
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def retry(attempts: int = 3, backoff: Backoff | None = None,
+          retry_on: tuple[type[BaseException], ...] = (Exception,),
+          sleep: Callable[[float], None] = time.sleep,
+          name: str | None = None) -> Callable[[_F], _F]:
+    """Decorator retrying the wrapped callable on *retry_on* exceptions.
+
+    Parameters
+    ----------
+    attempts:
+        Total number of attempts (the first call included); must be >= 1.
+    backoff:
+        Delay schedule between attempts (default :class:`Backoff()`).
+        No delay follows the final attempt.
+    retry_on:
+        Exception types that trigger a retry; anything else propagates
+        immediately (a programming error should never be retried).
+    sleep:
+        Called with the computed delay between attempts. Injectable for
+        tests (``sleep=lambda s: None``).
+    name:
+        Label used for the ``resilience.retry.*`` obs counters; defaults
+        to the wrapped function's qualified name.
+
+    Raises
+    ------
+    RetryExhaustedError
+        After the final failed attempt, chained from the last error and
+        carrying the ordered :class:`RetryAttempt` log.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    schedule = backoff if backoff is not None else Backoff()
+
+    def deco(fn: _F) -> _F:
+        label = name or getattr(fn, "__qualname__", repr(fn))
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            log: list[RetryAttempt] = []
+            for attempt in range(1, attempts + 1):
+                try:
+                    return fn(*args, **kwargs)
+                except retry_on as exc:
+                    final = attempt == attempts
+                    delay = 0.0 if final else schedule.delay(attempt)
+                    log.append(RetryAttempt(attempt, exc, delay))
+                    obs.count("resilience.retry.attempts", op=label)
+                    if final:
+                        obs.count("resilience.retry.exhausted", op=label)
+                        raise RetryExhaustedError(
+                            f"{label}: all {attempts} attempts failed; "
+                            f"last error: {exc!r}",
+                            attempts=attempts, attempt_log=log) from exc
+                    sleep(delay)
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco

@@ -19,9 +19,12 @@ Guarantees:
   :class:`repro.errors.ArtifactError` / ``SchemaVersionError``;
 * serving degrades gracefully — unknown users or unloadable artifacts
   fall back to the TF-IDF content ranker, with the downgrade recorded
-  under the ``serve.degraded`` obs counter.
+  under the ``serve.degraded`` obs counter; artifact loads are retried
+  (:mod:`repro.resilience.retry`) before degradation kicks in, and
+  :meth:`ServingIndex.health` re-verifies checksums, probes the
+  fallback, and self-heals rebuildable state in place.
 
-CLI: ``python -m repro.serve warmup|query|smoke``.
+CLI: ``python -m repro.serve warmup|query|smoke|health``.
 """
 
 from repro.serve.artifacts import (

@@ -13,6 +13,12 @@ Commands
     End-to-end serving check used by CI: fit, save, reload, verify the
     reloaded ranking is bit-identical, ingest one never-seen paper, and
     assert it surfaces in the user's top-10 — all without retraining.
+``health``
+    Load the artifact (with retries), run the
+    :meth:`~repro.serve.index.ServingIndex.health` checks (artifact
+    checksums, embedding finiteness, fallback probe + self-heal, cache
+    stats), print the JSON report, and exit non-zero when unhealthy —
+    a degraded index is serving, but it is not healthy.
 """
 
 from __future__ import annotations
@@ -141,6 +147,17 @@ def cmd_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    index = ServingIndex.from_artifact(args.dir,
+                                       retry_attempts=args.retries)
+    report = index.health()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["healthy"]:
+        print("UNHEALTHY: see checks above", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -169,6 +186,13 @@ def main(argv: list[str] | None = None) -> int:
     smoke.add_argument("--scale", type=float, default=0.35)
     smoke.add_argument("--seed", type=int, default=7)
     smoke.set_defaults(fn=cmd_smoke)
+
+    health = sub.add_parser(
+        "health", help="artifact + index health checks, exit 1 on unhealthy")
+    health.add_argument("--dir", default="artifacts/serve")
+    health.add_argument("--retries", type=int, default=3,
+                        help="artifact load attempts before degrading")
+    health.set_defaults(fn=cmd_health)
 
     args = parser.parse_args(argv)
     return args.fn(args)

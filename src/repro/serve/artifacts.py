@@ -50,10 +50,13 @@ from repro.core.sem import SEMConfig, SubspaceEmbeddingMethod
 from repro.core.subspace_model import SubspaceEmbeddingNetwork
 from repro.data.corpus import Corpus
 from repro.data.io import paper_from_dict, paper_to_dict
-from repro.errors import ArtifactError, NotFittedError, SchemaVersionError
+from repro.errors import (ArtifactError, InjectedFault, NotFittedError,
+                          SchemaVersionError)
 from repro.graph.hetero import HeterogeneousGraph
 from repro.nn.layers import Linear
 from repro.nn.serialization import load_module, save_module
+from repro.resilience import faults
+from repro.resilience.retry import Backoff, retry
 from repro.text.sentence_encoder import SentenceEncoder
 from repro.text.sequence_labeler import SequenceLabeler
 
@@ -280,6 +283,7 @@ def _save_profile_text(module: JTIERecommender, root: Path) -> None:
 # Load
 # ----------------------------------------------------------------------
 def _verify_manifest(root: Path) -> dict:
+    faults.maybe_fail("artifact.verify")
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.is_file():
         raise ArtifactError(f"no {MANIFEST_NAME} in {root} — not an artifact "
@@ -326,16 +330,29 @@ def load_pipeline(directory: str | os.PathLike) -> NPRecRecommender:
     ArtifactError
         If the manifest is missing/corrupt or any file fails its
         checksum.
+    RetryExhaustedError
+        If an injected (transient) fault at the ``artifact.verify`` or
+        ``artifact.load`` sites persists across all retry attempts.
     """
     root = Path(directory)
-    with obs.trace("serve.load_pipeline", directory=str(root)):
-        manifest = _verify_manifest(root)
-        try:
-            return _rebuild(root, manifest)
-        except (KeyError, ValueError, OSError) as exc:
-            raise ArtifactError(
-                f"artifact at {root} passed integrity checks but could not "
-                f"be deserialised: {exc}") from exc
+
+    # Injected (transient) faults are retried at the source so fault-
+    # injection runs exercise this recovery path without every caller
+    # needing its own handler; real corruption raises immediately.
+    @retry(attempts=3, backoff=Backoff(base=0.02), retry_on=(InjectedFault,),
+           name="artifact.load")
+    def _load() -> NPRecRecommender:
+        with obs.trace("serve.load_pipeline", directory=str(root)):
+            manifest = _verify_manifest(root)
+            faults.maybe_fail("artifact.load")
+            try:
+                return _rebuild(root, manifest)
+            except (KeyError, ValueError, OSError) as exc:
+                raise ArtifactError(
+                    f"artifact at {root} passed integrity checks but could "
+                    f"not be deserialised: {exc}") from exc
+
+    return _load()
 
 
 def load_author_affiliations(directory: str | os.PathLike) -> dict[str, str]:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -38,8 +39,11 @@ from repro import obs
 from repro.baselines.content import TfIdfIndex
 from repro.core.nprec.recommend import NPRecRecommender
 from repro.data.schema import Paper
-from repro.errors import ArtifactError, GraphError, NotFittedError
+from repro.errors import (ArtifactError, GraphError, InjectedFault,
+                          NotFittedError, RetryExhaustedError)
 from repro.graph.builder import attach_paper_to_network
+from repro.resilience import faults
+from repro.resilience.retry import Backoff, retry
 
 
 class ServingIndex:
@@ -92,6 +96,13 @@ class ServingIndex:
         self.cache_misses = 0
         self._fallback_tfidf: TfIdfIndex | None = None
         self._fallback_matrix: np.ndarray | None = None
+        #: Artifact directory this index was loaded from, when known —
+        #: lets :meth:`health` re-verify checksums in place.
+        self._artifact_dir: Path | None = None
+        self._degraded_reason: str | None = ("no_model" if recommender is None
+                                             else None)
+        self._last_load_error: RetryExhaustedError | None = None
+        self._query_fault = False
 
         papers = list(papers)
         if self.degraded:
@@ -131,28 +142,46 @@ class ServingIndex:
     # ------------------------------------------------------------------
     @classmethod
     def from_artifact(cls, directory, papers: Sequence[Paper] = (),
-                      block_size: int = 512,
-                      cache_size: int = 128) -> "ServingIndex":
+                      block_size: int = 512, cache_size: int = 128,
+                      retry_attempts: int = 3) -> "ServingIndex":
         """Build an index from a saved artifact, degrading on failure.
 
-        A corrupt, missing, or wrong-schema artifact does **not** raise:
-        the index comes up in degraded TF-IDF mode (``serve.degraded``
-        counted with ``reason="artifact_load_failed"``) so the service
-        keeps answering, just without the learned model.
+        The load is retried *retry_attempts* times with deterministic
+        exponential backoff (transient faults — injected or real — often
+        clear). A corrupt, missing, or wrong-schema artifact that
+        survives every attempt does **not** raise: the index comes up in
+        degraded TF-IDF mode (``serve.degraded`` counted with
+        ``reason="artifact_load_failed"``) so the service keeps
+        answering, just without the learned model. The exhausted-retry
+        attempt log stays inspectable on the returned index (and in the
+        :meth:`health` report).
         """
         from repro.serve.artifacts import (load_author_affiliations,
                                            load_pipeline)
+
+        @retry(attempts=retry_attempts, backoff=Backoff(base=0.02),
+               retry_on=(ArtifactError, InjectedFault, RetryExhaustedError,
+                         OSError),
+               name="serve.from_artifact")
+        def _load():
+            return load_pipeline(directory), load_author_affiliations(directory)
+
         try:
-            recommender = load_pipeline(directory)
-            affiliations = load_author_affiliations(directory)
-        except ArtifactError as exc:
+            recommender, affiliations = _load()
+        except RetryExhaustedError as exc:
             obs.count("serve.degraded", reason="artifact_load_failed")
             obs.count("serve.artifact.load_failures")
             with obs.trace("serve.degraded_startup", error=str(exc)):
-                return cls(None, papers, block_size=block_size,
-                           cache_size=cache_size)
-        return cls(recommender, papers, author_affiliations=affiliations,
-                   block_size=block_size, cache_size=cache_size)
+                index = cls(None, papers, block_size=block_size,
+                            cache_size=cache_size)
+            index._artifact_dir = Path(directory)
+            index._degraded_reason = "artifact_load_failed"
+            index._last_load_error = exc
+            return index
+        index = cls(recommender, papers, author_affiliations=affiliations,
+                    block_size=block_size, cache_size=cache_size)
+        index._artifact_dir = Path(directory)
+        return index
 
     # ------------------------------------------------------------------
     # Pool maintenance
@@ -166,6 +195,12 @@ class ServingIndex:
         imputation from neighbours — then precomputes the paper's
         influence row and invalidates the query cache. In degraded mode
         the paper simply joins the TF-IDF pool.
+
+        Ingestion is atomic under injected faults: the fallible
+        embedding work (``serve.ingest`` / ``sem.embed`` fault sites) is
+        retried *before* the graph is mutated, and a
+        :class:`~repro.errors.RetryExhaustedError` leaves the pool and
+        the model untouched.
 
         Returns the paper's position in the pool.
         """
@@ -186,12 +221,7 @@ class ServingIndex:
                 # pool late): no graph/model mutation needed.
                 row = self._influence_rows([paper.id])[0]
             else:
-                text_vector = None
-                if model.use_text:
-                    text_vector = rec.sem.fused_embeddings([paper])[0]
-                content_vector = None
-                if model.content_matrix is not None:
-                    content_vector = self._content_tfidf().transform(paper)
+                text_vector, content_vector = self._prepare_ingest(paper)
                 index = attach_paper_to_network(graph, paper,
                                                 self._affiliations)
                 model.attach_paper(index, text_vector=text_vector,
@@ -201,6 +231,31 @@ class ServingIndex:
         self._append(paper, row)
         self._invalidate()
         return self._positions[paper.id]
+
+    def _prepare_ingest(self, paper: Paper) -> tuple:
+        """The fallible, side-effect-free half of ingestion, retried.
+
+        Computes the SEM text vector and TF-IDF content row under the
+        ``serve.ingest`` fault site (and, transitively, ``sem.embed``)
+        *before* any graph or model mutation, so a retry never observes
+        a half-ingested paper.
+        """
+        rec = self._recommender
+        model = rec.model
+
+        @retry(attempts=3, backoff=Backoff(base=0.02),
+               retry_on=(InjectedFault,), name="serve.ingest")
+        def _prepare():
+            faults.maybe_fail("serve.ingest")
+            text_vector = None
+            if model.use_text:
+                text_vector = rec.sem.fused_embeddings([paper])[0]
+            content_vector = None
+            if model.content_matrix is not None:
+                content_vector = self._content_tfidf().transform(paper)
+            return text_vector, content_vector
+
+        return _prepare()
 
     def register_user(self, user_id: str, user_papers: Sequence[Paper]) -> None:
         """Precompute and store the interest profile of one user.
@@ -301,27 +356,40 @@ class ServingIndex:
         self.cache_misses += 1
         obs.count("serve.cache", outcome="miss")
         result = self._query(papers, profile, k)
-        self._cache[cache_key] = tuple(result)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        if not self._query_fault:
+            # A result produced through the fault-degradation path is
+            # never cached: the next identical query should get the
+            # healthy ranking back as soon as the fault clears.
+            self._cache[cache_key] = tuple(result)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
         return result
 
     def _query(self, user_papers: list[Paper],
                profile: np.ndarray | None, k: int) -> list[str]:
+        self._query_fault = False
         if not self._papers:
             return []
         if self.degraded:
             obs.count("serve.degraded", reason="no_model")
             return self._fallback_rank(user_papers, k)
-        interest = profile
-        if interest is None:
-            try:
-                interest = self._recommender.model.interest_vectors(
-                    [p.id for p in user_papers]).data
-            except GraphError:
-                obs.count("serve.degraded", reason="unknown_entity")
-                return self._fallback_rank(user_papers, k)
-        return self._blockwise_top_k(interest, k)
+        try:
+            faults.maybe_fail("serve.query")
+            interest = profile
+            if interest is None:
+                try:
+                    interest = self._recommender.model.interest_vectors(
+                        [p.id for p in user_papers]).data
+                except GraphError:
+                    obs.count("serve.degraded", reason="unknown_entity")
+                    return self._fallback_rank(user_papers, k)
+            return self._blockwise_top_k(interest, k)
+        except InjectedFault:
+            # Per-query degradation: a fault on the model path answers
+            # through the TF-IDF fallback instead of erroring out.
+            self._query_fault = True
+            obs.count("serve.degraded", reason="query_fault")
+            return self._fallback_rank(user_papers, k)
 
     def _blockwise_top_k(self, interest: np.ndarray, k: int) -> list[str]:
         assert self._influence is not None
@@ -382,3 +450,113 @@ class ServingIndex:
             self._fallback_matrix = self._fallback_tfidf.transform_many(
                 self._papers)
         return self._fallback_tfidf, self._fallback_matrix
+
+    # ------------------------------------------------------------------
+    # Health and self-healing
+    # ------------------------------------------------------------------
+    def health(self, probe: bool = True) -> dict:
+        """JSON-ready health report, running self-heal where possible.
+
+        Checks, in order:
+
+        - **artifact** — when the index came from :meth:`from_artifact`,
+          the manifest is re-verified in place (schema version plus
+          per-file SHA-256);
+        - **embeddings** — the precomputed influence matrix must be
+          entirely finite; a non-finite matrix is recomputed from the
+          model (self-heal) before being declared unhealthy;
+        - **fallback** — with ``probe=True`` and a non-empty pool, the
+          TF-IDF degradation path is probed; a failed probe triggers
+          :meth:`self_heal` (rebuild the fallback index) and one
+          re-probe.
+
+        ``healthy`` is True only when the index is not degraded and every
+        check passed — a degraded-but-answering index is *serving* but
+        not *healthy*, which is exactly what operators page on.
+        """
+        checks: dict[str, dict] = {}
+        if self._artifact_dir is not None:
+            from repro.serve.artifacts import _verify_manifest
+            entry: dict = {"path": str(self._artifact_dir)}
+            try:
+                _verify_manifest(self._artifact_dir)
+                entry["ok"] = True
+            except (ArtifactError, InjectedFault) as exc:
+                entry["ok"] = False
+                entry["error"] = str(exc)
+            checks["artifact"] = entry
+
+        finite = (self._influence is None
+                  or bool(np.isfinite(self._influence).all()))
+        healed_embeddings = False
+        if not finite:
+            healed_embeddings = self._heal_influence()
+            finite = (self._influence is None
+                      or bool(np.isfinite(self._influence).all()))
+        checks["embeddings"] = {
+            "ok": finite,
+            "healed": healed_embeddings,
+            "rows": 0 if self._influence is None else int(self._influence.shape[0]),
+        }
+
+        fallback: dict = {"ok": True, "healed": False, "probed": False}
+        if probe and self._papers:
+            fallback["probed"] = True
+            if not self._probe_fallback():
+                self.self_heal()
+                fallback["healed"] = True
+                fallback["ok"] = self._probe_fallback()
+            checks["fallback"] = fallback
+        else:
+            checks["fallback"] = fallback
+
+        healthy = (not self.degraded
+                   and all(entry.get("ok", True) for entry in checks.values()))
+        obs.gauge("serve.healthy", 1.0 if healthy else 0.0)
+        report = {
+            "healthy": bool(healthy),
+            "degraded": bool(self.degraded),
+            "degraded_reason": self._degraded_reason if self.degraded else None,
+            "pool_size": self.num_papers,
+            "registered_users": len(self._profiles),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses,
+                      "size": len(self._cache), "capacity": self.cache_size},
+            "checks": checks,
+        }
+        if self._last_load_error is not None:
+            report["load_attempts"] = [
+                {"attempt": a.attempt, "error": repr(a.error),
+                 "delay": a.delay}
+                for a in self._last_load_error.attempt_log]
+        return report
+
+    def self_heal(self) -> None:
+        """Drop and lazily rebuild the TF-IDF degradation fallback.
+
+        Called by :meth:`health` when the fallback probe fails; also safe
+        to call directly after mutating the pool out of band.
+        """
+        self._fallback_tfidf = None
+        self._fallback_matrix = None
+        obs.count("serve.self_heal", component="fallback")
+
+    def _probe_fallback(self) -> bool:
+        """True when the degradation path can produce finite scores."""
+        try:
+            _, matrix = self._fallback()
+            return bool(np.isfinite(matrix).all())
+        except Exception:  # a health probe must never take the service down
+            return False
+
+    def _heal_influence(self) -> bool:
+        """Recompute the influence matrix from the model; True on success."""
+        if self.degraded or self._influence is None:
+            return False
+        try:
+            self._influence = self._influence_rows(self._ids)
+        except Exception:
+            return False
+        self._novelty_z = None
+        self._cache.clear()
+        obs.count("serve.self_heal", component="influence")
+        return bool(np.isfinite(self._influence).all())

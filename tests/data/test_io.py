@@ -1,7 +1,10 @@
 """Tests for corpus JSON persistence."""
 
+import os
+
 import pytest
 
+import repro.data.io as io_mod
 from repro.data import (
     corpus_from_dict,
     corpus_to_dict,
@@ -9,7 +12,8 @@ from repro.data import (
     load_scopus,
     save_corpus,
 )
-from repro.errors import DataError
+from repro.errors import DataError, InjectedFault
+from repro.resilience import faults
 
 
 @pytest.fixture(scope="module")
@@ -56,3 +60,100 @@ class TestRoundTrip:
         restored = load_corpus(path)
         before, after = restored.split_by_year(2014)
         assert len(before) + len(after) == len(restored)
+
+
+class TestAtomicSave:
+    def test_crash_during_rename_preserves_existing_file(self, corpus,
+                                                         tmp_path,
+                                                         monkeypatch):
+        """A kill mid-save leaves the previous corpus intact on disk."""
+        path = tmp_path / "corpus.json"
+        save_corpus(corpus, path)
+        original_bytes = path.read_bytes()
+
+        def crash(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(io_mod.os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_corpus(corpus, path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == original_bytes
+        assert load_corpus(path).name == corpus.name
+
+    def test_no_temp_file_left_behind(self, corpus, tmp_path, monkeypatch):
+        path = tmp_path / "corpus.json"
+        monkeypatch.setattr(io_mod.os, "replace",
+                            lambda src, dst: (_ for _ in ()).throw(
+                                OSError("boom")))
+        with pytest.raises(OSError):
+            save_corpus(corpus, path)
+        monkeypatch.undo()
+        assert os.listdir(tmp_path) == []
+
+
+class TestErrorWrapping:
+    def test_corrupt_json_named_in_dataerror(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"papers": [tru', encoding="utf-8")
+        with pytest.raises(DataError, match=str(path)):
+            load_corpus(path)
+
+    def test_missing_file_raises_filenotfound(self, tmp_path):
+        # A missing path is an environment problem, not a schema one —
+        # the exception type must stay distinguishable (and unretried).
+        with pytest.raises(FileNotFoundError):
+            load_corpus(tmp_path / "absent.json")
+
+    def test_missing_payload_key_named(self, corpus):
+        payload = corpus_to_dict(corpus)
+        del payload["papers"]
+        with pytest.raises(DataError, match="'papers'"):
+            corpus_from_dict(payload)
+
+    def test_missing_paper_key_names_entry_and_key(self, corpus):
+        payload = corpus_to_dict(corpus)
+        paper = payload["papers"][2]
+        del paper["abstract"]
+        with pytest.raises(DataError) as err:
+            corpus_from_dict(payload)
+        assert "'abstract'" in str(err.value)
+        assert "entry #2" in str(err.value)
+
+    def test_file_load_error_names_path_and_key(self, corpus, tmp_path):
+        path = tmp_path / "schema.json"
+        save_corpus(corpus, path)
+        import json
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        del payload["papers"][0]["title"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(DataError) as err:
+            load_corpus(path)
+        assert str(path) in str(err.value)
+        assert "'title'" in str(err.value)
+
+
+class TestLoadRetry:
+    def test_transient_injected_fault_is_retried(self, corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(corpus, path)
+        # Seed 1's first uniform draw fires at p=0.5; its second doesn't,
+        # so the internal 3-attempt retry recovers the read.
+        import numpy as np
+        seed = next(s for s in range(100)
+                    if (lambda r: r.random() < 0.5 <= r.random())
+                    (np.random.default_rng(s)))
+        with faults.inject(f"data.load_corpus:0.5:{seed}"):
+            restored = load_corpus(path)
+        assert restored.name == corpus.name
+
+    def test_persistent_injected_fault_exhausts(self, corpus, tmp_path):
+        from repro.errors import RetryExhaustedError
+        path = tmp_path / "corpus.json"
+        save_corpus(corpus, path)
+        with faults.inject("data.load_corpus:1.0"):
+            with pytest.raises(RetryExhaustedError) as err:
+                load_corpus(path)
+        assert all(isinstance(a.error, InjectedFault)
+                   for a in err.value.attempt_log)

@@ -1,0 +1,1 @@
+"""Tests for repro.resilience: faults, retry, checkpoints, guards, health."""

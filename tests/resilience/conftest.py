@@ -1,0 +1,25 @@
+"""Shared resilience fixtures: fault-plan isolation and obs capture."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def isolated_fault_plan():
+    """Restore the process-wide fault plan (or its unset state) per test."""
+    previous = faults._ACTIVE
+    try:
+        yield
+    finally:
+        faults._ACTIVE = previous
+
+
+@pytest.fixture
+def obs_enabled():
+    state = obs.configure(enabled=True, reset=True)
+    try:
+        yield state
+    finally:
+        obs.configure(enabled=False, reset=True)

@@ -1,0 +1,117 @@
+"""Fault-plan parsing, per-site determinism, and the maybe_fail hook."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import InjectedFault
+from repro.resilience import faults
+from repro.resilience.faults import ENV_VAR, KNOWN_SITES, FaultPlan, FaultRule
+
+
+class TestParsing:
+    def test_full_spec(self):
+        plan = FaultPlan.parse("a:0.5:7,b:1.0")
+        assert plan.rules["a"] == FaultRule("a", 0.5, 7)
+        assert plan.rules["b"] == FaultRule("b", 1.0, 0)
+
+    def test_whitespace_and_trailing_commas_ignored(self):
+        plan = FaultPlan.parse(" a:0.25:3 , ,b:0.75 ,")
+        assert set(plan.rules) == {"a", "b"}
+
+    @pytest.mark.parametrize("spec", [
+        "a",                 # no probability
+        "a:0.5:7:9",         # too many fields
+        "a:high",            # non-numeric probability
+        "a:0.5:x",           # non-numeric seed
+        "a:1.5",             # probability out of range
+        ":0.5",              # empty site
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan.parse("a:0.5,a:0.1")
+
+    def test_from_env(self):
+        assert FaultPlan.from_env(environ={}) is None
+        plan = FaultPlan.from_env(environ={ENV_VAR: "a:0.5:7"})
+        assert plan.rules["a"].seed == 7
+
+
+class TestDeterminism:
+    def test_same_seed_same_firing_sequence(self):
+        first = FaultPlan.parse("site:0.3:42")
+        second = FaultPlan.parse("site:0.3:42")
+        outcomes = [first.should_fail("site") for _ in range(64)]
+        assert outcomes == [second.should_fail("site") for _ in range(64)]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_sites_draw_from_independent_streams(self):
+        """Interleaved draws at one site never perturb another site's."""
+        alone = FaultPlan.parse("a:0.3:1")
+        mixed = FaultPlan.parse("a:0.3:1,b:0.9:2")
+        interleaved = []
+        for _ in range(32):
+            interleaved.append(mixed.should_fail("a"))
+            mixed.should_fail("b")
+        assert interleaved == [alone.should_fail("a") for _ in range(32)]
+
+    def test_counters_track_draws_and_fires(self):
+        plan = FaultPlan.parse("a:1.0:0,b:0.0:0")
+        for _ in range(5):
+            plan.should_fail("a")
+            plan.should_fail("b")
+        assert plan.draws == {"a": 5, "b": 5}
+        assert plan.fired == {"a": 5, "b": 0}
+
+    def test_unknown_site_never_fails_or_draws(self):
+        plan = FaultPlan.parse("a:1.0")
+        assert plan.should_fail("unlisted") is False
+        assert plan.draws == {"a": 0}
+
+
+class TestMaybeFail:
+    def test_noop_without_plan(self):
+        faults.clear()
+        faults.maybe_fail("anything")  # must not raise
+
+    def test_raises_typed_fault_with_site_and_draw(self):
+        with faults.inject("boom:1.0:5"):
+            with pytest.raises(InjectedFault) as err:
+                faults.maybe_fail("boom")
+        assert err.value.site == "boom"
+        assert err.value.draw == 0
+
+    def test_zero_probability_never_fires(self):
+        with faults.inject("quiet:0.0"):
+            for _ in range(100):
+                faults.maybe_fail("quiet")
+
+    def test_inject_restores_previous_plan(self):
+        outer = faults.install("outer:1.0")
+        with faults.inject("inner:1.0") as inner:
+            assert faults.active() is inner
+        assert faults.active() is outer
+        faults.clear()
+        assert faults.active() is None
+
+    def test_install_accepts_spec_string(self):
+        plan = faults.install("x:0.5:9")
+        assert isinstance(plan, FaultPlan)
+        assert faults.active() is plan
+
+    def test_obs_counter_incremented(self, obs_enabled):
+        with faults.inject("boom:1.0"):
+            for _ in range(3):
+                with pytest.raises(InjectedFault):
+                    faults.maybe_fail("boom")
+        counter = obs.get_registry().get("resilience.faults.injected",
+                                         site="boom")
+        assert counter is not None and counter.value == 3
+
+    def test_library_sites_are_documented(self):
+        for site, description in KNOWN_SITES.items():
+            assert "." in site and description

@@ -1,0 +1,120 @@
+"""Retry decorator: backoff schedule, attempt log, exhaustion semantics."""
+
+import pytest
+
+from repro import obs
+from repro.errors import RetryExhaustedError
+from repro.resilience.retry import Backoff, retry
+
+
+class TestBackoff:
+    def test_exponential_schedule(self):
+        schedule = Backoff(base=0.1, factor=2.0, max_delay=0.35)
+        assert schedule.delay(1) == pytest.approx(0.1)
+        assert schedule.delay(2) == pytest.approx(0.2)
+        assert schedule.delay(3) == pytest.approx(0.35)  # capped
+        assert schedule.delay(9) == pytest.approx(0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Backoff(base=-1.0)
+        with pytest.raises(ValueError):
+            Backoff(factor=0.5)
+        with pytest.raises(ValueError):
+            Backoff().delay(0)
+
+
+class TestRetry:
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+        slept = []
+
+        @retry(attempts=3, backoff=Backoff(base=0.1), retry_on=(OSError,),
+               sleep=slept.append)
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(f"transient #{calls['n']}")
+            return "ok"
+
+        assert flaky() == "ok"
+        assert calls["n"] == 3
+        assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_exhaustion_carries_ordered_attempt_log(self):
+        slept = []
+
+        @retry(attempts=3, backoff=Backoff(base=0.1), retry_on=(OSError,),
+               sleep=slept.append, name="doomed-op")
+        def doomed():
+            raise OSError(f"failure #{len(slept)}")
+
+        with pytest.raises(RetryExhaustedError) as err:
+            doomed()
+        exc = err.value
+        assert exc.attempts == 3
+        assert [a.attempt for a in exc.attempt_log] == [1, 2, 3]
+        # Delays are logged per attempt; nothing is slept after the last.
+        assert [a.delay for a in exc.attempt_log] == [
+            pytest.approx(0.1), pytest.approx(0.2), 0.0]
+        assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+        assert [str(a.error) for a in exc.attempt_log] == [
+            "failure #0", "failure #1", "failure #2"]
+        assert exc.__cause__ is exc.attempt_log[-1].error
+        assert "doomed-op" in str(exc)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = {"n": 0}
+
+        @retry(attempts=5, retry_on=(OSError,), sleep=lambda _: None)
+        def wrong_kind():
+            calls["n"] += 1
+            raise ValueError("a bug, not a flake")
+
+        with pytest.raises(ValueError):
+            wrong_kind()
+        assert calls["n"] == 1
+
+    def test_single_attempt_never_sleeps(self):
+        slept = []
+
+        @retry(attempts=1, retry_on=(OSError,), sleep=slept.append)
+        def once():
+            raise OSError("nope")
+
+        with pytest.raises(RetryExhaustedError):
+            once()
+        assert slept == []
+
+    def test_deterministic_across_runs(self):
+        def run():
+            slept = []
+
+            @retry(attempts=4, backoff=Backoff(base=0.05),
+                   retry_on=(OSError,), sleep=slept.append)
+            def doomed():
+                raise OSError("x")
+
+            with pytest.raises(RetryExhaustedError) as err:
+                doomed()
+            return slept, [a.delay for a in err.value.attempt_log]
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            retry(attempts=0)
+
+    def test_obs_counters(self, obs_enabled):
+        @retry(attempts=2, retry_on=(OSError,), sleep=lambda _: None,
+               name="probe")
+        def doomed():
+            raise OSError("x")
+
+        with pytest.raises(RetryExhaustedError):
+            doomed()
+        registry = obs.get_registry()
+        attempts = registry.get("resilience.retry.attempts", op="probe")
+        exhausted = registry.get("resilience.retry.exhausted", op="probe")
+        assert attempts is not None and attempts.value == 2
+        assert exhausted is not None and exhausted.value == 1

@@ -1,0 +1,225 @@
+"""Trainer-level resilience: bit-identical resume and guarded rollback.
+
+The resume tests are the contract at the heart of repro.resilience: a
+run that is killed and resumed from its newest checkpoint must produce
+*exactly* the history and weights of a run that never stopped — float
+equality, not approx.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.core.nprec.trainer as nprec_trainer_mod
+from repro.core.annotation import annotate_triplets
+from repro.core.nprec import NPRecModel, NPRecTrainer, build_training_pairs
+from repro.core.rules import ExpertRuleSet
+from repro.core.subspace_model import SubspaceEmbeddingNetwork
+from repro.core.twin import TwinNetworkTrainer
+from repro.data import load_acm, load_scopus
+from repro.errors import InjectedFault, NumericalError
+from repro.graph import build_academic_network
+from repro.resilience import faults
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.guards import GuardPolicy, NumericGuard
+from repro.text import SentenceEncoder
+
+EPOCHS = 4
+
+
+def _fault_seed(probability: float, lo: int, hi: int) -> int:
+    """A rule seed whose first firing draw lands in ``[lo, hi)``."""
+    for seed in range(500):
+        rng = np.random.default_rng(seed)
+        for draw in range(hi):
+            if rng.random() < probability:
+                break
+        else:
+            continue
+        if lo <= draw < hi:
+            return seed
+    raise RuntimeError("no suitable fault seed in range")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# NPRec setup
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def nprec_setup():
+    corpus = load_acm(scale=0.2, seed=11)
+    train, new = corpus.split_by_year(2014)
+    everyone = list(train) + list(new)
+    graph = build_academic_network(corpus, papers=everyone,
+                                   citation_whitelist={p.id for p in train})
+    rng = np.random.default_rng(0)
+    text = {p.id: rng.normal(size=12) for p in everyone}
+    pairs = build_training_pairs(train, strategy="citation",
+                                 negative_ratio=2, max_positives=24, seed=0)
+
+    def make_trainer(**kwargs):
+        model = NPRecModel(graph, text, dim=8, neighbor_k=4, depth=2, seed=0)
+        defaults = dict(lr=1e-2, epochs=EPOCHS, batch_size=32, seed=0)
+        defaults.update(kwargs)
+        return NPRecTrainer(model, **defaults)
+
+    return make_trainer, pairs
+
+
+# ----------------------------------------------------------------------
+# Twin setup
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def twin_setup():
+    papers = load_scopus(scale=0.15, seed=5).papers[:40]
+    encoder = SentenceEncoder(dim=16)
+    rules = ExpertRuleSet(encoder).fit(papers, n_pairs=30, seed=0)
+    triplets = annotate_triplets(papers, rules, n_triplets=20, min_gap=0.1,
+                                 seed=0)
+    encoded = {}
+    for paper in papers:
+        H = encoder.encode(paper.abstract)
+        labels = list(paper.sentence_labels)[:H.shape[0]]
+        encoded[paper.id] = (H[:len(labels)], labels)
+
+    def make_trainer(**kwargs):
+        network = SubspaceEmbeddingNetwork(in_dim=16, hidden_dims=(24,),
+                                           out_dim=8, rng=0)
+        defaults = dict(distance="euclidean", lr=2e-3, epochs=EPOCHS,
+                        batch_size=8, seed=0)
+        defaults.update(kwargs)
+        return TwinNetworkTrainer(network, **defaults)
+
+    return make_trainer, triplets, encoded
+
+
+def _assert_same_weights(left, right):
+    left_state, right_state = left.state_dict(), right.state_dict()
+    assert set(left_state) == set(right_state)
+    for name, value in left_state.items():
+        assert np.array_equal(value, right_state[name]), name
+
+
+# ----------------------------------------------------------------------
+# Bit-identical resume
+# ----------------------------------------------------------------------
+class TestResumeBitIdentity:
+    def test_nprec_killed_run_resumes_bit_identically(self, nprec_setup,
+                                                      tmp_path):
+        make_trainer, pairs = nprec_setup
+        baseline_trainer = make_trainer()
+        baseline = baseline_trainer.train(pairs)
+
+        n_batches = math.ceil(len(pairs) / 32)
+        seed = _fault_seed(0.25, lo=n_batches, hi=EPOCHS * n_batches)
+        trainer = make_trainer(checkpoint=tmp_path / "ckpt")
+        with faults.inject(f"trainer.batch:0.25:{seed}"):
+            with pytest.raises(InjectedFault):
+                trainer.train(pairs)
+        # At least one epoch completed before the kill ...
+        saved = CheckpointManager(tmp_path / "ckpt").epochs()
+        assert saved and max(saved) < EPOCHS
+        # ... and the resumed run matches the uninterrupted one exactly.
+        history = trainer.train(pairs, resume=True)
+        assert history.losses == baseline.losses
+        assert history.accuracies == baseline.accuracies
+        _assert_same_weights(trainer.model, baseline_trainer.model)
+
+    def test_twin_fresh_trainer_resumes_bit_identically(self, twin_setup,
+                                                        tmp_path):
+        """Resume across a 'process boundary': a brand-new trainer picks
+        up a previous trainer's checkpoints and lands on the same bits."""
+        make_trainer, triplets, encoded = twin_setup
+        baseline_trainer = make_trainer()
+        baseline = baseline_trainer.train(triplets, encoded)
+
+        first = make_trainer(epochs=2, checkpoint=tmp_path / "ckpt")
+        first.train(triplets, encoded)
+
+        second = make_trainer(checkpoint=tmp_path / "ckpt")
+        history = second.train(triplets, encoded, resume=True)
+        assert history.losses == baseline.losses
+        assert history.violation_rates == baseline.violation_rates
+        _assert_same_weights(second.network, baseline_trainer.network)
+
+    def test_resume_requires_checkpoint(self, twin_setup):
+        make_trainer, triplets, encoded = twin_setup
+        with pytest.raises(ValueError, match="resume=True requires"):
+            make_trainer().train(triplets, encoded, resume=True)
+
+    def test_resume_with_no_snapshots_trains_from_scratch(self, twin_setup,
+                                                          tmp_path):
+        make_trainer, triplets, encoded = twin_setup
+        baseline = make_trainer().train(triplets, encoded)
+        trainer = make_trainer(checkpoint=tmp_path / "empty")
+        history = trainer.train(triplets, encoded, resume=True)
+        assert history.losses == baseline.losses
+
+    def test_checkpoint_every_skips_intermediate_epochs(self, twin_setup,
+                                                        tmp_path):
+        make_trainer, triplets, encoded = twin_setup
+        trainer = make_trainer(epochs=3, checkpoint=tmp_path / "ckpt",
+                               checkpoint_every=2)
+        trainer.train(triplets, encoded)
+        # Epoch 2 (multiple of 2) and the final epoch 3 are snapshotted.
+        assert CheckpointManager(tmp_path / "ckpt").epochs() == [2, 3]
+
+
+# ----------------------------------------------------------------------
+# Guard trips and rollback inside the epoch loop
+# ----------------------------------------------------------------------
+class TestGuardedTraining:
+    def test_nan_loss_rolls_back_and_recovers(self, nprec_setup, monkeypatch):
+        make_trainer, pairs = nprec_setup
+        original = nprec_trainer_mod.binary_cross_entropy_with_logits
+        calls = {"n": 0}
+
+        def poisoned(logits, labels):
+            calls["n"] += 1
+            loss = original(logits, labels)
+            return loss * float("nan") if calls["n"] == 1 else loss
+
+        monkeypatch.setattr(nprec_trainer_mod,
+                            "binary_cross_entropy_with_logits", poisoned)
+        trainer = make_trainer(epochs=2, guard=True)
+        initial_lr = trainer.optimizer.lr
+        history = trainer.train(pairs)
+
+        # The poisoned first batch tripped the guard, the epoch was
+        # retried from its start, and training still completed in full.
+        assert len(history.losses) == 2
+        assert all(math.isfinite(x) for x in history.losses)
+        assert trainer.guard.rollbacks_used == 1
+        assert trainer.optimizer.lr == pytest.approx(initial_lr * 0.5)
+
+    def test_persistent_fault_exhausts_rollback_budget(self, twin_setup):
+        make_trainer, triplets, encoded = twin_setup
+        trainer = make_trainer(guard=GuardPolicy(max_rollbacks=2))
+        with faults.inject("trainer.batch:1.0"):
+            with pytest.raises(InjectedFault):
+                trainer.train(triplets, encoded)
+        assert trainer.guard.rollbacks_used == 2
+
+    def test_fault_without_guard_propagates(self, twin_setup):
+        make_trainer, triplets, encoded = twin_setup
+        with faults.inject("trainer.batch:1.0"):
+            with pytest.raises(InjectedFault):
+                make_trainer().train(triplets, encoded)
+
+    def test_guard_accepts_policy_and_bool(self, twin_setup):
+        make_trainer, _, _ = twin_setup
+        assert isinstance(make_trainer(guard=True).guard, NumericGuard)
+        custom = make_trainer(guard=GuardPolicy(max_rollbacks=5)).guard
+        assert custom.policy.max_rollbacks == 5
+        assert make_trainer(guard=None).guard is None
+        assert make_trainer(guard=False).guard is None
+
+    def test_guarded_run_matches_unguarded_when_quiet(self, twin_setup):
+        """With no trips, the guard must not change a single bit."""
+        make_trainer, triplets, encoded = twin_setup
+        plain_trainer = make_trainer(epochs=2)
+        plain = plain_trainer.train(triplets, encoded)
+        guarded_trainer = make_trainer(epochs=2, guard=True)
+        guarded = guarded_trainer.train(triplets, encoded)
+        assert guarded.losses == plain.losses
+        _assert_same_weights(guarded_trainer.network, plain_trainer.network)

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.core.nprec",
     "repro.baselines",
     "repro.experiments",
+    "repro.resilience",
     "repro.utils",
     "repro.viz",
 ]
