@@ -8,7 +8,10 @@ qualitative *shape* (who wins, monotonicity, diagonals).
 Setting ``REPRO_OBS=1`` additionally captures an observability trace per
 benchmark (stage spans, training telemetry, sampling counters) under
 ``results/obs/<benchmark>.jsonl`` — the timing baseline future perf PRs
-diff against. Inspect one with ``python -m repro.obs report <file>``.
+diff against — plus a run snapshot under ``results/obs/runs/<benchmark>.json``
+for the regression gate. Inspect a trace with ``python -m repro.obs report
+<file>``; compare snapshots with ``python -m repro.obs diff A B`` or gate
+them with ``python -m repro.obs check RUN --baseline FILE``.
 """
 
 from __future__ import annotations
@@ -43,4 +46,7 @@ def obs_capture(request):
         obs.configure(enabled=False)
         obs.write_jsonl(RESULTS_DIR / "obs" / f"{request.node.name}.jsonl",
                         meta={"benchmark": request.node.name})
+        obs.runs.write_run(RESULTS_DIR / "obs" / "runs",
+                           run_id=request.node.name,
+                           meta={"benchmark": request.node.name})
         obs.configure(reset=True)

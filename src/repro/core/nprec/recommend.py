@@ -88,8 +88,9 @@ class NPRecRecommender(Recommender):
         if not train_papers:
             raise ValueError("no training papers")
 
-        with obs.trace("nprec.fit", train_papers=len(train_papers),
-                       new_papers=len(new_papers)):
+        with obs.profile("nprec.fit"), \
+                obs.trace("nprec.fit", train_papers=len(train_papers),
+                          new_papers=len(new_papers)):
             # 1. Subspace text embeddings (capped subset keeps SEM affordable
             #    on large corpora; embeddings are then produced for everyone).
             sem_train = train_papers
@@ -180,10 +181,13 @@ class NPRecRecommender(Recommender):
         if not candidates:
             return []
         with obs.trace("nprec.recommend.rank", user_papers=len(user_papers),
-                       candidates=len(candidates)):
+                       candidates=len(candidates)) as span:
             obs.count("nprec.recommend.queries")
             obs.observe("nprec.recommend.candidate_set_size", len(candidates))
-            return self._rank(user_papers, candidates)
+            ranked = self._rank(user_papers, candidates)
+        obs.observe("nprec.recommend.rank.duration_seconds", span.duration)
+        obs.observe_quantile("nprec.recommend.rank.latency", span.duration)
+        return ranked
 
     def _rank(self, user_papers: Sequence[Paper],
               candidates: Sequence[Paper]) -> list[str]:

@@ -92,7 +92,8 @@ class NPRecTrainer:
         order = np.arange(len(pairs))
         columns = {"losses": history.losses, "accuracies": history.accuracies}
         start_epoch = self._maybe_resume(rng, order, columns, resume)
-        with obs.trace("nprec.train", epochs=self.epochs, pairs=len(pairs)):
+        with obs.profile("nprec.train"), \
+                obs.trace("nprec.train", epochs=self.epochs, pairs=len(pairs)):
             epoch = start_epoch
             while epoch < self.epochs:
                 snapshot = None
@@ -152,6 +153,7 @@ class NPRecTrainer:
         obs.observe("nprec.train.epoch_loss", mean_loss)
         obs.observe("nprec.train.epoch_accuracy", accuracy)
         obs.observe("nprec.train.epoch_duration_seconds", span.duration)
+        obs.observe_quantile("nprec.train.epoch.latency", span.duration)
         return mean_loss, accuracy
 
     def _maybe_resume(self, rng: np.random.Generator, order: np.ndarray,

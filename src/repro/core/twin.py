@@ -167,8 +167,9 @@ class TwinNetworkTrainer:
         columns = {"losses": history.losses,
                    "violation_rates": history.violation_rates}
         start_epoch = self._maybe_resume(rng, order, columns, resume)
-        with obs.trace("sem.twin.train", epochs=self.epochs,
-                       triplets=len(triplets), distance=self.distance):
+        with obs.profile("sem.twin.train"), \
+                obs.trace("sem.twin.train", epochs=self.epochs,
+                          triplets=len(triplets), distance=self.distance):
             epoch = start_epoch
             while epoch < self.epochs:
                 snapshot = None
@@ -237,6 +238,7 @@ class TwinNetworkTrainer:
         obs.observe("sem.twin.epoch_hinge_loss", mean_loss)
         obs.observe("sem.twin.epoch_rule_agreement", agreement)
         obs.observe("sem.twin.epoch_duration_seconds", span.duration)
+        obs.observe_quantile("sem.twin.epoch.latency", span.duration)
         return mean_loss, violations / len(triplets)
 
     def _maybe_resume(self, rng: np.random.Generator, order: np.ndarray,

@@ -35,18 +35,22 @@ import functools
 from typing import Callable, TypeVar
 
 from repro.obs import config as _config
+from repro.obs import profiling as _profiling
+from repro.obs import runs, slo
 from repro.obs.config import (
     ObsState,
     configure,
     get_registry,
     get_tracer,
     is_enabled,
+    is_profiling,
 )
 from repro.obs.emitters import (
     console_summary,
     events,
     prometheus_text,
     read_jsonl,
+    render_multi_report,
     render_report,
     write_jsonl,
 )
@@ -57,15 +61,20 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, Quantile
 from repro.obs.tracing import SpanRecord, SpanStats, Tracer
 
 __all__ = [
-    "configure", "is_enabled", "get_registry", "get_tracer", "ObsState",
-    "trace", "traced", "count", "gauge", "observe",
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "configure", "is_enabled", "is_profiling", "get_registry", "get_tracer",
+    "ObsState",
+    "trace", "traced", "count", "gauge", "observe", "observe_quantile",
+    "profile",
+    "Counter", "Gauge", "Histogram", "Quantile", "P2Quantile",
+    "MetricsRegistry", "DEFAULT_BUCKETS", "DEFAULT_QUANTILES",
     "Tracer", "SpanRecord", "SpanStats",
     "write_jsonl", "read_jsonl", "events", "prometheus_text",
-    "console_summary", "render_report",
+    "console_summary", "render_report", "render_multi_report",
+    "runs", "slo",
 ]
 
 
@@ -116,8 +125,13 @@ class _SpanContext:
     def __exit__(self, exc_type, exc, tb) -> bool:
         assert self._record is not None
         if exc_type is not None:
-            self._record.attrs["error"] = exc_type.__name__
-        _config._STATE.tracer.finish(self._record)
+            # Error exits must always finish the span (tagged, and with
+            # any leaked child spans unwound) so tracer open_depth never
+            # leaks and the failed region stays visible in reports.
+            self._record.set("error", exc_type.__name__)
+            _config._STATE.tracer.unwind_to(self._record)
+        else:
+            _config._STATE.tracer.finish(self._record)
         return False
 
 
@@ -174,3 +188,33 @@ def observe(name: str, value: float, **labels: str) -> None:
     state = _config._STATE
     if state.enabled:
         state.registry.histogram(name, **labels).observe(value)
+
+
+def observe_quantile(name: str, value: float, **labels: str) -> None:
+    """Record *value* into the streaming-quantile family *name* (+labels).
+
+    The P² sketch behind each child keeps p50/p90/p99 estimates in O(1)
+    memory (see :mod:`repro.obs.quantiles`); no-op when observability is
+    off. Latency call sites record into both a bucket histogram (for
+    Prometheus-style aggregation) and a quantile family (for exact-ish
+    tail percentiles in run snapshots and SLO checks).
+    """
+    state = _config._STATE
+    if state.enabled:
+        state.registry.quantile(name, **labels).observe(value)
+
+
+def profile(stage: str, top_n: int = 5, **attrs: object):
+    """Allocation-profiling span: ``trace`` plus tracemalloc deltas.
+
+    Opens a span named ``profile.<stage>`` carrying ``alloc_net_kb``,
+    ``alloc_peak_kb``, and the top-*top_n* allocation sites as span
+    attributes, and records the same numbers into the
+    ``profile.net_alloc_kb``/``profile.peak_alloc_kb`` histograms
+    (labelled ``stage=...``). Requires *both* ``configure(enabled=True)``
+    and ``configure(profiling=True)``; otherwise this is the same shared
+    no-op context as a disabled :func:`trace`.
+    """
+    if not (_config._STATE.enabled and _config._STATE.profiling):
+        return NOOP_CONTEXT
+    return _profiling.ProfileContext(stage, top_n, attrs)

@@ -23,12 +23,17 @@ class ObsState:
     enabled: bool
     registry: MetricsRegistry
     tracer: Tracer
+    #: Allocation profiling (`obs.profile`) is a second opt-in on top of
+    #: `enabled` — tracemalloc snapshots are far too heavy to ride along
+    #: with every ordinary capture.
+    profiling: bool = False
 
 
 _STATE = ObsState(enabled=False, registry=MetricsRegistry(), tracer=Tracer())
 
 
-def configure(enabled: bool | None = None, *, reset: bool = False) -> ObsState:
+def configure(enabled: bool | None = None, *, profiling: bool | None = None,
+              reset: bool = False) -> ObsState:
     """Adjust the global observability state; returns it.
 
     Parameters
@@ -36,6 +41,10 @@ def configure(enabled: bool | None = None, *, reset: bool = False) -> ObsState:
     enabled:
         ``True`` turns instrumentation on, ``False`` off; ``None`` leaves
         the flag unchanged (useful with ``reset=True``).
+    profiling:
+        ``True`` additionally arms :func:`repro.obs.profile` spans
+        (tracemalloc allocation deltas); requires ``enabled``. ``None``
+        leaves the flag unchanged.
     reset:
         Clear all recorded metrics and spans first (fails if a span is
         still open — that indicates a leaked ``trace`` context).
@@ -45,12 +54,19 @@ def configure(enabled: bool | None = None, *, reset: bool = False) -> ObsState:
         _STATE.registry.reset()
     if enabled is not None:
         _STATE.enabled = bool(enabled)
+    if profiling is not None:
+        _STATE.profiling = bool(profiling)
     return _STATE
 
 
 def is_enabled() -> bool:
     """Whether instrumented call sites currently record anything."""
     return _STATE.enabled
+
+
+def is_profiling() -> bool:
+    """Whether :func:`repro.obs.profile` spans capture allocation data."""
+    return _STATE.enabled and _STATE.profiling
 
 
 def get_registry() -> MetricsRegistry:

@@ -20,6 +20,7 @@ import re
 
 from repro.obs import config
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.quantiles import Quantile
 from repro.obs.tracing import Tracer
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -34,7 +35,11 @@ def _prom_name(name: str) -> str:
 
 
 def _escape_label(value: object) -> str:
-    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+    # Prometheus label values escape backslash, double quote, and (per
+    # the exposition-format spec) line feeds — a value containing a raw
+    # newline would otherwise split the sample line in two.
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
@@ -64,11 +69,25 @@ def prometheus_text(registry: MetricsRegistry | None = None) -> str:
     for metric in registry.collect():
         name = _prom_name(metric.name)
         if name not in seen_types:
-            lines.append(f"# TYPE {name} {metric.kind}")
+            # Prometheus has no native "quantile" kind; the Quantile
+            # family maps onto its summary type.
+            kind = "summary" if metric.kind == "quantile" else metric.kind
+            lines.append(f"# TYPE {name} {kind}")
             seen_types.add(name)
         if isinstance(metric, (Counter, Gauge)):
             lines.append(f"{name}{_prom_labels(metric.labels)} "
                          f"{_prom_value(metric.value)}")
+        elif isinstance(metric, Quantile):
+            for q, estimate in metric.estimates().items():
+                value = "NaN" if estimate is None else _prom_value(estimate)
+                lines.append(
+                    f"{name}"
+                    f"{_prom_labels(metric.labels, {'quantile': format(q, 'g')})}"
+                    f" {value}")
+            lines.append(f"{name}_sum{_prom_labels(metric.labels)} "
+                         f"{_prom_value(metric.sum)}")
+            lines.append(f"{name}_count{_prom_labels(metric.labels)} "
+                         f"{metric.count}")
         elif isinstance(metric, Histogram):
             # bucket_counts are already cumulative (Prometheus `le` style).
             for bound, count in zip(metric.buckets, metric.bucket_counts):
@@ -155,7 +174,43 @@ def _metric_line(event: dict[str, object]) -> str:
         mean = (event["sum"] / count) if count else 0.0
         return (f"  {name}  count={count} mean={mean:.4g} "
                 f"min={event['min']} max={event['max']}")
+    if event["kind"] == "quantile":
+        estimates = event.get("quantiles") or {}
+        rendered = " ".join(
+            f"p{format(float(q) * 100, 'g')}="
+            + ("-" if est is None else f"{est:.4g}")
+            for q, est in sorted(estimates.items(), key=lambda kv: float(kv[0])))
+        return f"  {name}  count={event['count']} {rendered}"
     return f"  {name}  {event['value']:g}"
+
+
+def _trace_lines(spans: list[dict[str, object]], title: str) -> list[str]:
+    lines = [title, "-" * len(title)]
+    for span in sorted(spans, key=lambda s: s["index"]):
+        indent = "  " * int(span["depth"])
+        attrs = span.get("attrs") or {}
+        attr_str = (" [" + ", ".join(f"{k}={v}" for k, v in attrs.items())
+                    + "]") if attrs else ""
+        lines.append(f"{indent}{span['name']}  "
+                     f"{_format_seconds(float(span['duration']))}{attr_str}")
+    return lines
+
+
+def _span_total_lines(spans: list[dict[str, object]], title: str) -> list[str]:
+    # Per-name aggregate mirrors Tracer.aggregate for offline captures.
+    grouped: dict[str, list[float]] = {}
+    for span in spans:
+        grouped.setdefault(str(span["name"]), []).append(float(span["duration"]))
+    lines = [title, "-" * len(title)]
+    width = max(len(n) for n in grouped)
+    for name in sorted(grouped):
+        durations = grouped[name]
+        lines.append(
+            f"  {name.ljust(width)}  calls={len(durations):<5d} "
+            f"total={_format_seconds(sum(durations)):>9s} "
+            f"mean={_format_seconds(sum(durations) / len(durations)):>9s} "
+            f"max={_format_seconds(max(durations)):>9s}")
+    return lines
 
 
 def render_report(captured: list[dict[str, object]]) -> str:
@@ -164,30 +219,9 @@ def render_report(captured: list[dict[str, object]]) -> str:
     metrics = [e for e in captured if e.get("type") == "metric"]
     lines: list[str] = []
     if spans:
-        lines.append("Trace")
-        lines.append("-----")
-        for span in sorted(spans, key=lambda s: s["index"]):
-            indent = "  " * int(span["depth"])
-            attrs = span.get("attrs") or {}
-            attr_str = (" [" + ", ".join(f"{k}={v}" for k, v in attrs.items())
-                        + "]") if attrs else ""
-            lines.append(f"{indent}{span['name']}  "
-                         f"{_format_seconds(float(span['duration']))}{attr_str}")
-        # Per-name aggregate mirrors Tracer.aggregate for offline captures.
-        grouped: dict[str, list[float]] = {}
-        for span in spans:
-            grouped.setdefault(str(span["name"]), []).append(float(span["duration"]))
+        lines.extend(_trace_lines(spans, "Trace"))
         lines.append("")
-        lines.append("Span totals")
-        lines.append("-----------")
-        width = max(len(n) for n in grouped)
-        for name in sorted(grouped):
-            durations = grouped[name]
-            lines.append(
-                f"  {name.ljust(width)}  calls={len(durations):<5d} "
-                f"total={_format_seconds(sum(durations)):>9s} "
-                f"mean={_format_seconds(sum(durations) / len(durations)):>9s} "
-                f"max={_format_seconds(max(durations)):>9s}")
+        lines.extend(_span_total_lines(spans, "Span totals"))
     if metrics:
         if lines:
             lines.append("")
@@ -196,6 +230,46 @@ def render_report(captured: list[dict[str, object]]) -> str:
         lines.extend(_metric_line(m) for m in metrics)
     if not lines:
         lines.append("(empty capture: no spans, no metrics)")
+    return "\n".join(lines)
+
+
+def render_multi_report(captures: list[tuple[str, list[dict[str, object]]]]) -> str:
+    """Merge several parsed captures into one labelled report.
+
+    Each capture keeps its own trace tree and metric list (sections are
+    labelled with the source name — counters from different runs must
+    not be summed), while span durations are additionally aggregated
+    across *all* captures so per-stage totals over, say, a whole
+    benchmark suite read off one table.
+    """
+    if len(captures) == 1:
+        return render_report(captures[0][1])
+    lines: list[str] = []
+    all_spans: list[dict[str, object]] = []
+    for label, captured in captures:
+        spans = [e for e in captured if e.get("type") == "span"]
+        if not spans:
+            continue
+        all_spans.extend(spans)
+        if lines:
+            lines.append("")
+        lines.extend(_trace_lines(spans, f"Trace — {label}"))
+    if all_spans:
+        lines.append("")
+        lines.extend(_span_total_lines(
+            all_spans, f"Span totals ({len(captures)} captures)"))
+    for label, captured in captures:
+        metrics = [e for e in captured if e.get("type") == "metric"]
+        if not metrics:
+            continue
+        if lines:
+            lines.append("")
+        title = f"Metrics — {label}"
+        lines.append(title)
+        lines.append("-" * len(title))
+        lines.extend(_metric_line(m) for m in metrics)
+    if not lines:
+        lines.append("(empty captures: no spans, no metrics)")
     return "\n".join(lines)
 
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from repro.obs.quantiles import DEFAULT_QUANTILES, Quantile
+
 #: Default histogram bucket upper bounds (seconds-flavoured, works for
 #: latencies and for small unit-less values alike).
 DEFAULT_BUCKETS: tuple[float, ...] = (
@@ -129,7 +131,7 @@ class Histogram:
 
 
 #: Any concrete metric child.
-Metric = Counter | Gauge | Histogram
+Metric = Counter | Gauge | Histogram | Quantile
 
 
 class _Family:
@@ -189,6 +191,13 @@ class MetricsRegistry:
         return self._child("histogram", name, labels,
                            lambda: Histogram(name, labels, buckets))
 
+    def quantile(self, name: str,
+                 quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+                 **labels: str) -> Quantile:
+        """Get or create the streaming-quantile child for *name* + *labels*."""
+        return self._child("quantile", name, labels,
+                           lambda: Quantile(name, labels, quantiles))
+
     # ------------------------------------------------------------------
     def get(self, name: str, **labels: str) -> Metric | None:
         """Look up an existing child without creating it."""
@@ -196,6 +205,30 @@ class MetricsRegistry:
         if family is None:
             return None
         return family.children.get(_label_key(labels))
+
+    def family(self, name: str) -> list[Metric]:
+        """Every child of family *name* (empty when unregistered)."""
+        family = self._families.get(name)
+        if family is None:
+            return []
+        return [family.children[key] for key in sorted(family.children)]
+
+    def family_total(self, name: str) -> float:
+        """Sum of a counter/gauge family's values across all label sets.
+
+        SLO error budgets are defined over *families* (every
+        ``serve.degraded`` reason counts against the budget), so the
+        label breakdown is summed away here. Histogram/quantile families
+        have no single value and raise.
+        """
+        total = 0.0
+        for child in self.family(name):
+            if not isinstance(child, (Counter, Gauge)):
+                raise ValueError(
+                    f"family_total over {name!r} needs counters/gauges, "
+                    f"found a {child.kind}")
+            total += child.value
+        return total
 
     def collect(self) -> Iterator[Metric]:
         """All children, grouped by family, families in name order."""

@@ -102,6 +102,27 @@ class Tracer:
         self.spans.append(record)
         return record
 
+    def unwind_to(self, record: SpanRecord) -> SpanRecord:
+        """Finish *record* even if descendants were left open.
+
+        The error-path companion of :meth:`finish`: when an exception
+        propagates out of a span whose children were opened with a bare
+        :meth:`start` and never finished (an instrumented function that
+        raised mid-flight), strict :meth:`finish` would itself raise and
+        mask the original exception — and leave ``open_depth`` leaked,
+        poisoning every later capture. Here the still-open descendants
+        are closed innermost-first (tagged ``leaked=True``) before
+        *record* is finished normally.
+        """
+        if record not in self._stack:
+            raise RuntimeError(
+                f"cannot unwind to {record.name!r}: span is not open")
+        while self._stack[-1] is not record:
+            leaked = self._stack[-1]
+            leaked.set("leaked", True)
+            self.finish(leaked)
+        return self.finish(record)
+
     # ------------------------------------------------------------------
     @property
     def open_depth(self) -> int:

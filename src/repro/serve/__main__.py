@@ -17,8 +17,10 @@ Commands
     Load the artifact (with retries), run the
     :meth:`~repro.serve.index.ServingIndex.health` checks (artifact
     checksums, embedding finiteness, fallback probe + self-heal, cache
-    stats), print the JSON report, and exit non-zero when unhealthy —
-    a degraded index is serving, but it is not healthy.
+    stats, registered SLOs), print the JSON report on stdout (one
+    human-readable line per SLO goes to stderr), and exit non-zero when
+    unhealthy — a degraded index is serving, but it is not healthy, and
+    neither is one breaching a latency or error-budget objective.
 """
 
 from __future__ import annotations
@@ -148,10 +150,29 @@ def cmd_smoke(args: argparse.Namespace) -> int:
 
 
 def cmd_health(args: argparse.Namespace) -> int:
-    index = ServingIndex.from_artifact(args.dir,
-                                       retry_attempts=args.retries)
-    report = index.health()
+    from repro import obs
+
+    # Capture the health probe itself so latency SLOs have data even in
+    # a one-shot CLI run (the load + fallback probe both record); the
+    # prior obs state is restored so the CLI helper stays side-effect
+    # free for embedding callers.
+    was_enabled = obs.is_enabled()
+    obs.configure(enabled=True)
+    try:
+        index = ServingIndex.from_artifact(args.dir,
+                                           retry_attempts=args.retries)
+        report = index.health()
+    finally:
+        obs.configure(enabled=was_enabled)
+    # stdout stays pure JSON (machine-readable); the per-SLO summary
+    # lines go to stderr alongside any UNHEALTHY banner.
     print(json.dumps(report, indent=2, sort_keys=True))
+    for status in report["slos"]:
+        state = ("no data" if status["no_data"]
+                 else "ok" if status["ok"] else "BREACH")
+        print(f"SLO [{status['slo']}] ({status['kind']}): {state}"
+              + (f" — {status['detail']}" if status["detail"] else ""),
+              file=sys.stderr)
     if not report["healthy"]:
         print("UNHEALTHY: see checks above", file=sys.stderr)
         return 1

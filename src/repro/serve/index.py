@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs.slo import default_serving_slos, evaluate_registered, register_slo
 from repro.baselines.content import TfIdfIndex
 from repro.core.nprec.recommend import NPRecRecommender
 from repro.data.schema import Paper
@@ -103,6 +104,10 @@ class ServingIndex:
                                              else None)
         self._last_load_error: RetryExhaustedError | None = None
         self._query_fault = False
+        # Publish the serving objectives once; replace=False keeps any
+        # operator-tuned SLO registered under the same name.
+        for slo in default_serving_slos():
+            register_slo(slo, replace=False)
 
         papers = list(papers)
         if self.degraded:
@@ -207,15 +212,17 @@ class ServingIndex:
         if paper.id in self._positions:
             raise ValueError(f"paper {paper.id!r} is already in the pool")
         if self.degraded:
-            self._append(paper, None)
-            obs.count("serve.papers_ingested", mode="degraded")
-            self._invalidate()
+            with obs.trace("serve.add_paper", paper=paper.id) as span:
+                self._append(paper, None)
+                obs.count("serve.papers_ingested", mode="degraded")
+                self._invalidate()
+            self._observe_latency("serve.ingest", span.duration)
             return self._positions[paper.id]
 
         rec = self._recommender
         model = rec.model
         graph = model.graph
-        with obs.trace("serve.add_paper", paper=paper.id):
+        with obs.trace("serve.add_paper", paper=paper.id) as span:
             if ("paper", paper.id) in graph:
                 # Known to the model (e.g. a fit-time paper joining the
                 # pool late): no graph/model mutation needed.
@@ -228,9 +235,22 @@ class ServingIndex:
                                    content_vector=content_vector)
                 row = self._influence_rows([paper.id])[0]
             obs.count("serve.papers_ingested")
-        self._append(paper, row)
-        self._invalidate()
+            self._append(paper, row)
+            self._invalidate()
+        self._observe_latency("serve.ingest", span.duration)
         return self._positions[paper.id]
+
+    @staticmethod
+    def _observe_latency(name: str, seconds: float) -> None:
+        """Record one latency sample into histogram + quantile families.
+
+        ``<name>.duration_seconds`` keeps the fixed Prometheus buckets;
+        ``<name>.latency`` feeds the P² sketch whose p50/p90/p99 back the
+        serving SLOs (:func:`repro.obs.slo.default_serving_slos`) and the
+        run-snapshot regression gate. Both are no-ops when obs is off.
+        """
+        obs.observe(f"{name}.duration_seconds", seconds)
+        obs.observe_quantile(f"{name}.latency", seconds)
 
     def _prepare_ingest(self, paper: Paper) -> tuple:
         """The fallible, side-effect-free half of ingestion, retried.
@@ -346,23 +366,26 @@ class ServingIndex:
             user_key = tuple(p.id for p in papers)
             profile = None
         obs.count("serve.queries")
-        cache_key = (user_key, int(k))
-        cached = self._cache.get(cache_key)
-        if cached is not None:
-            self._cache.move_to_end(cache_key)
-            self.cache_hits += 1
-            obs.count("serve.cache", outcome="hit")
-            return list(cached)
-        self.cache_misses += 1
-        obs.count("serve.cache", outcome="miss")
-        result = self._query(papers, profile, k)
-        if not self._query_fault:
-            # A result produced through the fault-degradation path is
-            # never cached: the next identical query should get the
-            # healthy ranking back as soon as the fault clears.
-            self._cache[cache_key] = tuple(result)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+        with obs.trace("serve.query", k=int(k)) as span:
+            cache_key = (user_key, int(k))
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                self.cache_hits += 1
+                obs.count("serve.cache", outcome="hit")
+                result = list(cached)
+            else:
+                self.cache_misses += 1
+                obs.count("serve.cache", outcome="miss")
+                result = self._query(papers, profile, k)
+                if not self._query_fault:
+                    # A result produced through the fault-degradation path
+                    # is never cached: the next identical query should get
+                    # the healthy ranking back as soon as the fault clears.
+                    self._cache[cache_key] = tuple(result)
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+        self._observe_latency("serve.query", span.duration)
         return result
 
     def _query(self, user_papers: list[Paper],
@@ -468,11 +491,16 @@ class ServingIndex:
         - **fallback** — with ``probe=True`` and a non-empty pool, the
           TF-IDF degradation path is probed; a failed probe triggers
           :meth:`self_heal` (rebuild the fallback index) and one
-          re-probe.
+          re-probe;
+        - **SLOs** — every registered service-level objective (the
+          serving defaults plus operator registrations, see
+          :mod:`repro.obs.slo`) is evaluated against the live metrics;
+          breaches are listed under ``slo_breaches``.
 
-        ``healthy`` is True only when the index is not degraded and every
-        check passed — a degraded-but-answering index is *serving* but
-        not *healthy*, which is exactly what operators page on.
+        ``healthy`` is True only when the index is not degraded, every
+        check passed, and no SLO with data is breached — a
+        degraded-but-answering index is *serving* but not *healthy*,
+        which is exactly what operators page on.
         """
         checks: dict[str, dict] = {}
         if self._artifact_dir is not None:
@@ -510,7 +538,15 @@ class ServingIndex:
         else:
             checks["fallback"] = fallback
 
+        # Registered SLOs (latency quantiles, error budgets) close the
+        # observability loop: a breach with real data makes the index
+        # unhealthy, exactly like a failed structural check. SLOs with
+        # no recorded data (obs off, or no traffic yet) stay ok.
+        slo_statuses = evaluate_registered()
+        slo_breaches = [s.slo for s in slo_statuses if not s.ok]
+
         healthy = (not self.degraded
+                   and not slo_breaches
                    and all(entry.get("ok", True) for entry in checks.values()))
         obs.gauge("serve.healthy", 1.0 if healthy else 0.0)
         report = {
@@ -522,6 +558,8 @@ class ServingIndex:
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses,
                       "size": len(self._cache), "capacity": self.cache_size},
             "checks": checks,
+            "slos": [s.snapshot() for s in slo_statuses],
+            "slo_breaches": slo_breaches,
         }
         if self._last_load_error is not None:
             report["load_attempts"] = [

@@ -8,6 +8,7 @@ from repro.obs.emitters import (
     console_summary,
     prometheus_text,
     read_jsonl,
+    render_multi_report,
     render_report,
     write_jsonl,
 )
@@ -49,6 +50,55 @@ class TestPrometheusText:
         reg = MetricsRegistry()
         reg.counter("weird", path='a"b\\c').inc()
         assert '{path="a\\"b\\\\c"}' in prometheus_text(reg)
+
+    def test_newlines_in_label_values_escaped(self):
+        # A raw newline would split the sample line in two and corrupt
+        # the whole exposition; the spec says escape it as \n.
+        reg = MetricsRegistry()
+        reg.counter("weird", msg="line1\nline2").inc()
+        text = prometheus_text(reg)
+        assert '{msg="line1\\nline2"}' in text
+        assert all(line.startswith(("#", "repro_"))
+                   for line in text.strip().splitlines())
+
+    def test_histogram_conventions(self):
+        # _count == +Inf bucket, buckets cumulative in le order, _sum
+        # equals the total of the observations.
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        lines = prometheus_text(reg).strip().splitlines()
+        assert lines == [
+            "# TYPE repro_lat histogram",
+            'repro_lat_bucket{le="0.1"} 1',
+            'repro_lat_bucket{le="1"} 3',
+            'repro_lat_bucket{le="+Inf"} 4',
+            "repro_lat_sum 6.05",
+            "repro_lat_count 4",
+        ]
+
+    def test_quantile_renders_as_summary(self):
+        reg = MetricsRegistry()
+        q = reg.quantile("serve.query.latency", route="top_k")
+        for v in (0.1, 0.2, 0.3):
+            q.observe(v)
+        lines = prometheus_text(reg).strip().splitlines()
+        assert lines[0] == "# TYPE repro_serve_query_latency summary"
+        assert 'repro_serve_query_latency{quantile="0.5",route="top_k"} 0.2' \
+            in lines
+        assert any(l.startswith(
+            'repro_serve_query_latency{quantile="0.99"') for l in lines)
+        assert 'repro_serve_query_latency_sum{route="top_k"} 0.6000000000000001' \
+            in lines
+        assert 'repro_serve_query_latency_count{route="top_k"} 3' in lines
+
+    def test_empty_quantile_renders_nan(self):
+        reg = MetricsRegistry()
+        reg.quantile("idle.latency")
+        text = prometheus_text(reg)
+        assert 'repro_idle_latency{quantile="0.5"} NaN' in text
+        assert "repro_idle_latency_count 0" in text
 
 
 class TestJsonl:
@@ -106,6 +156,40 @@ class TestReportRendering:
         assert "live.counter  2" in summary
 
 
+class TestMultiReport:
+    def _capture(self, tmp_path, name, span, counter_value):
+        tracer = Tracer()
+        tracer.finish(tracer.start(span))
+        reg = MetricsRegistry()
+        reg.counter("c").inc(counter_value)
+        return write_jsonl(tmp_path / name, registry=reg, tracer=tracer)
+
+    def test_single_capture_matches_render_report(self, tmp_path):
+        path = self._capture(tmp_path, "a.jsonl", "fit", 1)
+        captured = read_jsonl(path)
+        assert render_multi_report([("a", captured)]) == render_report(captured)
+
+    def test_sections_labelled_and_totals_merged(self, tmp_path):
+        a = read_jsonl(self._capture(tmp_path, "a.jsonl", "fit", 1))
+        b = read_jsonl(self._capture(tmp_path, "b.jsonl", "fit", 2))
+        report = render_multi_report([("a.jsonl", a), ("b.jsonl", b)])
+        assert "Trace — a.jsonl" in report
+        assert "Trace — b.jsonl" in report
+        assert "Span totals (2 captures)" in report
+        assert "calls=2" in report  # fit aggregated across both captures
+        # Metric sections stay per source: counters are NOT summed.
+        assert "Metrics — a.jsonl" in report
+        assert "Metrics — b.jsonl" in report
+        assert "c  1" in report and "c  2" in report
+        assert "c  3" not in report
+
+    def test_quantile_line_in_console_report(self, obs_enabled):
+        obs.observe_quantile("q.latency", 0.5)
+        summary = console_summary()
+        assert "q.latency" in summary
+        assert "count=1" in summary and "p99=0.5" in summary
+
+
 class TestCli:
     def test_report_command(self, tmp_path, capsys):
         tracer = Tracer()
@@ -115,6 +199,31 @@ class TestCli:
         assert obs_main(["report", str(path)]) == 0
         assert "stage" in capsys.readouterr().out
 
+    def test_report_merges_multiple_files(self, tmp_path, capsys):
+        paths = []
+        for name in ("one", "two"):
+            tracer = Tracer()
+            tracer.finish(tracer.start(f"stage.{name}"))
+            paths.append(str(write_jsonl(tmp_path / f"{name}.jsonl",
+                                         registry=MetricsRegistry(),
+                                         tracer=tracer)))
+        assert obs_main(["report", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "stage.one" in out and "stage.two" in out
+        assert "Span totals (2 captures)" in out
+
     def test_report_missing_file_fails(self, tmp_path, capsys):
         assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_report_renders_readable_files_despite_failures(self, tmp_path,
+                                                            capsys):
+        tracer = Tracer()
+        tracer.finish(tracer.start("good.stage"))
+        good = write_jsonl(tmp_path / "good.jsonl",
+                           registry=MetricsRegistry(), tracer=tracer)
+        assert obs_main(["report", str(tmp_path / "nope.jsonl"),
+                         str(good)]) == 1
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "good.stage" in captured.out

@@ -73,6 +73,25 @@ class TestTrainerTelemetry:
         assert reg.get("nprec.train.epoch_accuracy").count == epochs
         assert reg.get("nprec.train.epoch_duration_seconds").count == epochs
         assert reg.get("nprec.train.grad_steps").value >= epochs
+        # The streaming-quantile twin of the epoch-duration histogram.
+        latency = reg.get("nprec.train.epoch.latency")
+        assert latency.count == epochs
+        assert latency.estimate(0.99) > 0
+
+    def test_profiling_captures_training_allocations(self, obs_profiling,
+                                                     acm_small, train_papers,
+                                                     fitted_rules):
+        pairs = build_training_pairs(train_papers, rules=fitted_rules,
+                                     negative_ratio=1, max_positives=10, seed=0)
+        model = make_model(acm_small, train_papers)
+        NPRecTrainer(model, lr=1e-2, epochs=1, seed=0).train(pairs)
+        (span,) = [s for s in obs.get_tracer().spans
+                   if s.name == "profile.nprec.train"]
+        assert span.attrs["alloc_peak_kb"] > 0
+        assert span.attrs["top_allocations"]
+        net = obs.get_registry().get("profile.net_alloc_kb",
+                                     stage="nprec.train")
+        assert net is not None and net.count == 1
 
     def test_full_capture_has_spans_and_drop_counter(self, obs_enabled, tmp_path,
                                                      acm_small, train_papers,
@@ -127,8 +146,45 @@ class TestTwinTelemetry:
         # Agreement is the complement of the reported violation rate.
         assert agreement.sum == pytest.approx(
             sum(1.0 - v for v in history.violation_rates))
+        assert reg.get("sem.twin.epoch.latency").count == epochs
         names = [s.name for s in obs.get_tracer().spans]
         assert names.count("sem.twin.train.epoch") == epochs
+
+
+class TestRankTelemetry:
+    def _recommender(self, acm_small, train_papers):
+        from repro.core.nprec.recommend import NPRecRecommender
+
+        rec = NPRecRecommender()
+        rec.model = make_model(acm_small, train_papers)
+        rec._train_by_id = {p.id: p for p in train_papers}
+        return rec
+
+    def test_rank_records_span_histogram_and_quantile(self, obs_enabled,
+                                                      acm_small, train_papers):
+        rec = self._recommender(acm_small, train_papers)
+        ranked = rec.rank(train_papers[:2], train_papers[2:8])
+        assert len(ranked) == 6
+        (span,) = [s for s in obs.get_tracer().spans
+                   if s.name == "nprec.recommend.rank"]
+        reg = obs.get_registry()
+        duration = reg.get("nprec.recommend.rank.duration_seconds")
+        assert duration.count == 1
+        assert duration.sum == pytest.approx(span.duration)
+        latency = reg.get("nprec.recommend.rank.latency")
+        assert latency.count == 1
+        assert latency.estimate(0.5) == pytest.approx(span.duration)
+        assert reg.get("nprec.recommend.queries").value == 1
+
+    def test_disabled_rank_records_nothing(self, obs_disabled, acm_small,
+                                           train_papers):
+        # Acceptance criterion: the instrumented rank() path must be a
+        # pure no-op when observability is off.
+        rec = self._recommender(acm_small, train_papers)
+        ranked = rec.rank(train_papers[:2], train_papers[2:8])
+        assert len(ranked) == 6
+        assert obs.get_tracer().spans == []
+        assert len(obs.get_registry()) == 0
 
 
 class TestSamplerTelemetry:

@@ -1,0 +1,88 @@
+"""Allocation-profiling spans: capture, double gate, error unwinding."""
+
+import pytest
+
+from repro import obs
+from repro.obs import NOOP_CONTEXT
+
+
+class TestProfileCapture:
+    def test_span_carries_allocation_attrs(self, obs_profiling):
+        with obs.profile("stage_a", hint="x"):
+            payload = [bytearray(64 * 1024) for _ in range(8)]
+        del payload
+        (record,) = obs.get_tracer().spans
+        assert record.name == "profile.stage_a"
+        assert record.attrs["hint"] == "x"
+        assert record.attrs["alloc_peak_kb"] >= 512  # the 8x64kB payload
+        assert "alloc_net_kb" in record.attrs
+        assert isinstance(record.attrs["top_allocations"], list)
+
+    def test_top_allocations_name_this_file(self, obs_profiling):
+        with obs.profile("stage_b", top_n=3):
+            keep = [bytearray(256 * 1024)]
+        (record,) = obs.get_tracer().spans
+        sites = record.attrs["top_allocations"]
+        assert sites and len(sites) <= 3
+        assert any("test_profiling.py" in site for site in sites)
+        del keep
+
+    def test_histograms_record_per_stage(self, obs_profiling):
+        with obs.profile("stage_c"):
+            pass
+        registry = obs.get_registry()
+        net = registry.get("profile.net_alloc_kb", stage="stage_c")
+        peak = registry.get("profile.peak_alloc_kb", stage="stage_c")
+        assert net is not None and net.count == 1
+        assert peak is not None and peak.count == 1
+
+    def test_nested_inside_trace(self, obs_profiling):
+        with obs.trace("outer"):
+            with obs.profile("inner"):
+                pass
+        tracer = obs.get_tracer()
+        assert tracer.open_depth == 0
+        names = [s.name for s in tracer.spans]
+        assert names == ["profile.inner", "outer"]
+
+    def test_exception_finishes_and_tags_span(self, obs_profiling):
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.profile("stage_d"):
+                raise RuntimeError("boom")
+        tracer = obs.get_tracer()
+        assert tracer.open_depth == 0
+        (record,) = tracer.spans
+        assert record.attrs["error"] == "RuntimeError"
+        assert "alloc_net_kb" in record.attrs  # measured despite the raise
+
+    def test_top_n_validation(self, obs_profiling):
+        with pytest.raises(ValueError, match="top_n"):
+            with obs.profile("stage_e", top_n=0):
+                pass
+
+
+class TestDoubleGate:
+    def test_disabled_entirely(self, obs_disabled):
+        assert obs.profile("x") is NOOP_CONTEXT
+
+    def test_enabled_without_profiling(self, obs_enabled):
+        # The second gate: ordinary captures must not pay for tracemalloc.
+        assert obs.profile("x") is NOOP_CONTEXT
+        with obs.profile("x"):
+            pass
+        assert len(obs.get_tracer().spans) == 0
+        assert len(obs.get_registry()) == 0
+
+    def test_profiling_without_enabled(self, obs_disabled):
+        obs.configure(profiling=True)
+        try:
+            assert obs.profile("x") is NOOP_CONTEXT
+        finally:
+            obs.configure(profiling=False)
+
+    def test_is_profiling_reflects_both_flags(self, obs_enabled):
+        assert not obs.is_profiling()
+        obs.configure(profiling=True)
+        assert obs.is_profiling()
+        obs.configure(enabled=False)
+        assert not obs.is_profiling()

@@ -71,6 +71,38 @@ class TestEnabledTracing:
         (span,) = tracer.spans
         assert span.attrs["error"] == "RuntimeError"
 
+    def test_instrumented_function_raising_never_leaks_depth(self, obs_enabled):
+        # Regression: an instrumented function that raises from a nested
+        # region must leave the tracer balanced so the *next* capture on
+        # the same process starts clean.
+        def instrumented():
+            with obs.trace("fn.outer"):
+                with obs.trace("fn.inner"):
+                    raise ValueError("deep failure")
+
+        for _ in range(2):  # twice: a leak would trip the second pass
+            with pytest.raises(ValueError, match="deep failure"):
+                instrumented()
+            assert obs.get_tracer().open_depth == 0
+        by_name = {s.name: s for s in obs.get_tracer().spans}
+        assert by_name["fn.inner"].attrs["error"] == "ValueError"
+        assert by_name["fn.outer"].attrs["error"] == "ValueError"
+        obs.configure(reset=True)  # balanced tracer: reset must succeed
+
+    def test_exception_unwinds_leaked_raw_children(self, obs_enabled):
+        # A raw tracer.start() child left open by the raising region used
+        # to make __exit__'s finish() raise (masking the real error) and
+        # leak open_depth. unwind_to closes it, tagged as leaked.
+        tracer = obs.get_tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.trace("outer"):
+                tracer.start("leaked.child")
+                raise RuntimeError("boom")
+        assert tracer.open_depth == 0
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["leaked.child"].attrs["leaked"] is True
+        assert by_name["outer"].attrs["error"] == "RuntimeError"
+
     def test_traced_decorator_records_qualname_span(self, obs_enabled):
         @obs.traced()
         def my_function():
@@ -111,3 +143,24 @@ class TestTracerInvariants:
         assert tracer.spans == []
         record = tracer.start("b")
         assert record.index == 0
+
+    def test_unwind_to_closes_children_innermost_first(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("mid")
+        tracer.start("deep")
+        tracer.unwind_to(outer)
+        assert tracer.open_depth == 0
+        names = [s.name for s in tracer.spans]
+        assert names == ["deep", "mid", "outer"]  # innermost finished first
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["deep"].attrs["leaked"] is True
+        assert by_name["mid"].attrs["leaked"] is True
+        assert "leaked" not in by_name["outer"].attrs
+
+    def test_unwind_to_unopened_span_rejected(self):
+        tracer = Tracer()
+        closed = tracer.start("closed")
+        tracer.finish(closed)
+        with pytest.raises(RuntimeError, match="not open"):
+            tracer.unwind_to(closed)

@@ -104,12 +104,71 @@ class TestHealthReport:
         assert index.top_k(list(user.train_papers), k=5)
 
 
+class TestSLOHealth:
+    def test_default_latency_slos_registered_and_reported(self, artifact,
+                                                          obs_enabled):
+        directory, task = artifact
+        index = ServingIndex.from_artifact(directory, papers=task.new_papers)
+        report = index.health()
+        kinds = {s["slo"]: s["kind"] for s in report["slos"]}
+        assert kinds.get("serve.query.p99") == "latency"
+        assert kinds.get("serve.ingest.p99") == "latency"
+        assert kinds.get("serve.error_budget") == "error_rate"
+        # An idle index has no latency samples: SLOs report no-data, not
+        # a breach, and the index stays healthy.
+        assert report["slo_breaches"] == []
+        assert report["healthy"]
+
+    def test_queries_feed_the_latency_quantiles(self, artifact, obs_enabled):
+        directory, task = artifact
+        index = ServingIndex.from_artifact(directory, papers=task.new_papers)
+        user = task.users[0]
+        for _ in range(3):
+            index.top_k(list(user.train_papers), k=5)
+        latency = obs.get_registry().get("serve.query.latency")
+        assert latency is not None and latency.count == 3
+        histogram = obs.get_registry().get("serve.query.duration_seconds")
+        assert histogram is not None and histogram.count == 3
+
+    def test_latency_breach_makes_index_unhealthy(self, artifact, obs_enabled):
+        directory, task = artifact
+        index = ServingIndex.from_artifact(directory, papers=task.new_papers)
+        # Force the p99 sketch over the 250ms objective: a sustained run
+        # of slow queries, as the monitor would see it.
+        for _ in range(30):
+            obs.observe_quantile("serve.query.latency", 2.0)
+        report = index.health()
+        assert "serve.query.p99" in report["slo_breaches"]
+        assert not report["healthy"]
+        assert not report["degraded"]  # breached, not degraded
+
+    def test_error_budget_breach(self, artifact, obs_enabled):
+        directory, task = artifact
+        index = ServingIndex.from_artifact(directory, papers=task.new_papers)
+        obs.count("serve.queries", 10)
+        obs.count("serve.degraded", 3, reason="query_fault")
+        report = index.health()
+        assert "serve.error_budget" in report["slo_breaches"]
+        assert not report["healthy"]
+
+
 class TestHealthCli:
     def test_healthy_exit_zero(self, artifact, capsys):
         directory, _ = artifact
         assert serve_main(["health", "--dir", directory]) == 0
-        report = json.loads(capsys.readouterr().out)
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)  # stdout stays pure JSON
         assert report["healthy"] is True
+        # Acceptance criterion: the CLI reports at least one registered
+        # latency SLO (human lines on stderr).
+        assert "SLO [serve.query.p99] (latency):" in captured.err
+
+    def test_cli_restores_obs_state(self, artifact):
+        directory, _ = artifact
+        obs.configure(enabled=False, reset=True)
+        serve_main(["health", "--dir", directory])
+        assert not obs.is_enabled()
+        obs.configure(reset=True)
 
     def test_injected_verify_fault_exits_nonzero(self, artifact, capsys):
         directory, _ = artifact
