@@ -1,0 +1,43 @@
+"""repro.loadgen — deterministic load generation for the serving layer.
+
+The closed-loop/open-loop harness that answers "what does this index do
+under heavy traffic from many users?" without leaving the repository:
+seeded workload schedules (top-K queries over registered users,
+cold-start ingestions, unknown-entity degradation probes), real worker
+threads against a warm :class:`~repro.serve.index.ServingIndex`, live
+windowed telemetry, and a ``BENCH_serve_load.json`` scorecard whose
+key numbers feed the run-registry regression gate.
+
+Typical run (also available as ``python -m repro.serve loadtest``)::
+
+    from repro.loadgen import LoadRunner, build_schedule, build_report
+
+    schedule = build_schedule(user_ids, papers, n_requests=500, seed=0,
+                              mode="closed", concurrency=4)
+    runner = LoadRunner(index, schedule)
+    summary = runner.run()
+    report = build_report(schedule, summary, runner.telemetry,
+                          registry=obs.get_registry())
+"""
+
+from repro.loadgen.report import (
+    REPORT_SCHEMA_VERSION,
+    build_report,
+    write_report,
+)
+from repro.loadgen.runner import LATENCY_QUANTILES, LoadRunner, RunSummary
+from repro.loadgen.telemetry import BIN_QUANTILES, WindowedTelemetry
+from repro.loadgen.workload import (
+    KINDS,
+    Request,
+    Schedule,
+    WorkloadMix,
+    build_schedule,
+)
+
+__all__ = [
+    "KINDS", "Request", "Schedule", "WorkloadMix", "build_schedule",
+    "WindowedTelemetry", "BIN_QUANTILES",
+    "LoadRunner", "RunSummary", "LATENCY_QUANTILES",
+    "build_report", "write_report", "REPORT_SCHEMA_VERSION",
+]

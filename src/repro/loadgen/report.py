@@ -1,0 +1,100 @@
+"""BENCH_serve_load.json: the load run's machine-readable scorecard.
+
+One JSON document ties the whole run together: the workload fingerprint
+(schedule SHA-256, mode, seed, mix realisation), achieved throughput,
+P²-sketched latency quantiles overall and per request kind, error and
+degradation rates, final SLO statuses with burn rates, and the retained
+per-second time series. The same numbers are mirrored into a run-
+registry snapshot (``results/obs/runs/serve_load.json``) so
+``python -m repro.obs check`` gates serving-throughput and tail-latency
+regressions against the committed baseline in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.loadgen.runner import LATENCY_QUANTILES, RunSummary
+from repro.loadgen.telemetry import WindowedTelemetry
+from repro.loadgen.workload import Schedule
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantiles import Quantile
+
+#: Bump on any incompatible report layout change.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _latency_block(child: Quantile | None) -> dict[str, object] | None:
+    """JSON latency summary of one quantile child (None when absent)."""
+    if child is None or child.count == 0:
+        return None
+    block: dict[str, object] = {
+        "count": child.count,
+        "mean": child.mean,
+        "min": child.min,
+        "max": child.max,
+    }
+    for q, estimate in child.estimates().items():
+        block[f"p{format(q * 100, 'g')}"] = estimate
+    return block
+
+
+def build_report(schedule: Schedule, summary: RunSummary,
+                 telemetry: WindowedTelemetry,
+                 registry: MetricsRegistry | None = None,
+                 meta: dict[str, object] | None = None) -> dict[str, object]:
+    """Assemble the BENCH document from a finished run's artifacts."""
+    latency: dict[str, object] = {"quantiles": [format(q, "g")
+                                                for q in LATENCY_QUANTILES]}
+    by_kind: dict[str, object] = {}
+    if registry is not None:
+        latency["overall"] = _latency_block(
+            registry.get("loadgen.request.latency"))
+        for kind in sorted(summary.by_kind):
+            block = _latency_block(
+                registry.get("loadgen.request.latency", kind=kind))
+            if block is not None:
+                by_kind[kind] = block
+        serve: dict[str, object] = {}
+        for cache in ("hit", "miss"):
+            block = _latency_block(
+                registry.get("serve.query.latency", cache=cache))
+            if block is not None:
+                serve[f"query_cache_{cache}"] = block
+        if serve:
+            latency["serve"] = serve
+    latency["by_kind"] = by_kind
+
+    degraded_total = int(registry.family_total("serve.degraded")
+                         if registry is not None else telemetry.degraded)
+    completed = summary.completed
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "workload": {
+            "mode": schedule.mode,
+            "seed": schedule.seed,
+            "concurrency": schedule.concurrency,
+            "target_qps": schedule.qps,
+            "requests": len(schedule),
+            "schedule_sha256": schedule.sha256(),
+        },
+        "run": summary.snapshot(),
+        "latency": latency,
+        "degraded": {
+            "count": degraded_total,
+            "rate": degraded_total / completed if completed else 0.0,
+        },
+        "timeseries": telemetry.snapshot(),
+        "meta": dict(meta or {}),
+    }
+
+
+def write_report(path: "str | pathlib.Path",
+                 report: dict[str, object]) -> pathlib.Path:
+    """Persist *report* as pretty-printed JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

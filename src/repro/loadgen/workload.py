@@ -1,0 +1,178 @@
+"""Deterministic workload construction for the serving load generator.
+
+A *schedule* is the full, materialised request sequence for one load
+run: every request's kind (top-K query, cold-start ingestion, or
+unknown-entity degradation probe), its payload (which registered user,
+which synthetic paper), and — in open-loop mode — its Poisson arrival
+offset. Schedules are pure functions of ``(users, papers, options,
+seed)``: building the same schedule twice yields byte-identical request
+signatures, which is what makes load runs comparable across commits
+(the regression gate diffs *service* behaviour, never workload drift).
+The :meth:`Schedule.sha256` digest is stamped into
+``BENCH_serve_load.json`` so a gate failure can first rule out "the
+workload changed".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import Paper
+
+#: Request kinds a schedule can contain.
+KINDS = ("query", "ingest", "probe")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One scheduled unit of load.
+
+    ``kind`` selects the serving entry point:
+
+    - ``"query"`` — ``index.top_k(user_id, k)`` for a registered user;
+    - ``"ingest"`` — ``index.add_paper(paper)`` with a never-seen paper
+      cloned from the corpus (fresh id, no references), the cold-start
+      path of the source paper's *new paper* recommendation problem;
+    - ``"probe"`` — ``index.top_k([paper], k)`` with an ad-hoc paper the
+      model has never embedded, deliberately exercising the
+      ``unknown_entity`` TF-IDF degradation fallback.
+
+    ``arrival`` is the open-loop start offset in seconds from the run
+    start (``None`` in closed-loop schedules, where workers issue the
+    next request as soon as the previous answer returns).
+    """
+
+    index: int
+    kind: str
+    user_id: str | None = None
+    k: int = 10
+    paper: Paper | None = None
+    arrival: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r} "
+                             f"(expected one of {KINDS})")
+
+    def signature(self) -> str:
+        """Stable one-line identity used to fingerprint schedules."""
+        arrival = "-" if self.arrival is None else format(self.arrival, ".9f")
+        return (f"{self.index}:{self.kind}:{self.user_id or '-'}:{self.k}:"
+                f"{self.paper.id if self.paper is not None else '-'}:{arrival}")
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Relative weights of the three request kinds (normalised on use)."""
+
+    query: float = 0.90
+    ingest: float = 0.04
+    probe: float = 0.06
+
+    def __post_init__(self) -> None:
+        weights = (self.query, self.ingest, self.probe)
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError(f"mix weights must be >= 0 with a positive "
+                             f"sum, got {weights}")
+
+    def probabilities(self) -> tuple[float, ...]:
+        """Kind probabilities in :data:`KINDS` order, summing to 1."""
+        total = self.query + self.ingest + self.probe
+        return (self.query / total, self.ingest / total, self.probe / total)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A materialised request sequence plus the options that produced it."""
+
+    requests: tuple[Request, ...]
+    mode: str  # "closed" | "open"
+    seed: int
+    concurrency: int
+    qps: float | None = None  # open-loop target arrival rate
+
+    def sha256(self) -> str:
+        """Digest of every request signature — the workload fingerprint."""
+        digest = hashlib.sha256()
+        for request in self.requests:
+            digest.update(request.signature().encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def _synthetic_paper(template: Paper, kind: str, index: int) -> Paper:
+    """A never-seen paper cloned from *template* with a unique id.
+
+    References and citations are stripped so an ingest exercises the
+    genuine cold-start path (no edges into the known graph beyond the
+    author/venue metadata), and every request gets its own id so probe
+    queries never collide in the LRU cache and ingests never trip the
+    duplicate-id guard.
+    """
+    return dataclasses.replace(template, id=f"loadgen-{kind}-{index:06d}",
+                               references=(), citation_count=0)
+
+
+def build_schedule(user_ids: Sequence[str], papers: Sequence[Paper],
+                   n_requests: int, *, mode: str = "closed",
+                   concurrency: int = 4, qps: float | None = None,
+                   mix: WorkloadMix | None = None, k: int = 10,
+                   seed: int = 0) -> Schedule:
+    """Materialise a deterministic schedule of *n_requests* requests.
+
+    Closed-loop mode (``mode="closed"``) produces no arrival times:
+    *concurrency* workers each issue their next request the moment the
+    previous one completes, which measures the service's saturated
+    throughput. Open-loop mode (``mode="open"``) draws i.i.d.
+    exponential inter-arrival gaps targeting *qps* requests/second
+    (a Poisson process), which measures behaviour under an offered —
+    not admitted — load.
+
+    All randomness flows from one :func:`numpy.random.default_rng`
+    seeded with *seed*: kinds, user picks, payload templates, and
+    arrival gaps. Same inputs, same schedule, bit for bit.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and (qps is None or qps <= 0):
+        raise ValueError("open-loop schedules need a positive target qps")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if not user_ids:
+        raise ValueError("need at least one registered user id")
+    if not papers:
+        raise ValueError("need at least one template paper for "
+                         "ingest/probe payloads")
+
+    mix = mix if mix is not None else WorkloadMix()
+    rng = np.random.default_rng(seed)
+    kinds = rng.choice(len(KINDS), size=n_requests, p=mix.probabilities())
+    arrivals = (np.cumsum(rng.exponential(1.0 / qps, size=n_requests))
+                if mode == "open" else None)
+
+    requests = []
+    for i in range(n_requests):
+        kind = KINDS[int(kinds[i])]
+        arrival = None if arrivals is None else float(arrivals[i])
+        if kind == "query":
+            user = str(user_ids[int(rng.integers(len(user_ids)))])
+            requests.append(Request(index=i, kind=kind, user_id=user, k=k,
+                                    arrival=arrival))
+        else:
+            template = papers[int(rng.integers(len(papers)))]
+            requests.append(Request(index=i, kind=kind, k=k,
+                                    paper=_synthetic_paper(template, kind, i),
+                                    arrival=arrival))
+    return Schedule(requests=tuple(requests), mode=mode, seed=seed,
+                    concurrency=concurrency,
+                    qps=float(qps) if qps is not None else None)

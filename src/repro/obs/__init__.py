@@ -34,22 +34,27 @@ from __future__ import annotations
 import functools
 from typing import Callable, TypeVar
 
+import time as _time
+
 from repro.obs import config as _config
 from repro.obs import profiling as _profiling
-from repro.obs import runs, slo
+from repro.obs import runs, slo, tracing
 from repro.obs.config import (
     ObsState,
     configure,
+    get_exemplars,
     get_registry,
     get_tracer,
     is_enabled,
     is_profiling,
 )
+from repro.obs.exemplars import Exemplar, ExemplarReservoir
 from repro.obs.emitters import (
     console_summary,
     events,
     prometheus_text,
     read_jsonl,
+    render_exemplars,
     render_multi_report,
     render_report,
     write_jsonl,
@@ -62,18 +67,27 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, Quantile
-from repro.obs.tracing import SpanRecord, SpanStats, Tracer
+from repro.obs.tracing import (
+    SpanRecord,
+    SpanStats,
+    Tracer,
+    current_trace_id,
+    new_trace_id,
+)
 
 __all__ = [
     "configure", "is_enabled", "is_profiling", "get_registry", "get_tracer",
-    "ObsState",
-    "trace", "traced", "count", "gauge", "observe", "observe_quantile",
-    "profile",
+    "get_exemplars", "ObsState",
+    "trace", "traced", "request", "count", "gauge", "observe",
+    "observe_quantile", "event", "profile",
+    "current_trace_id", "new_trace_id",
     "Counter", "Gauge", "Histogram", "Quantile", "P2Quantile",
     "MetricsRegistry", "DEFAULT_BUCKETS", "DEFAULT_QUANTILES",
     "Tracer", "SpanRecord", "SpanStats",
+    "Exemplar", "ExemplarReservoir",
     "write_jsonl", "read_jsonl", "events", "prometheus_text",
     "console_summary", "render_report", "render_multi_report",
+    "render_exemplars",
     "runs", "slo",
 ]
 
@@ -84,6 +98,7 @@ class _NoopSpan:
     __slots__ = ()
     name = "<disabled>"
     duration = 0.0
+    trace_id = None
     attrs: dict[str, object] = {}
 
     def set(self, key: str, value: object) -> None:
@@ -146,6 +161,87 @@ def trace(name: str, **attrs: object) -> _SpanContext | _NoopContext:
     if not _config._STATE.enabled:
         return NOOP_CONTEXT
     return _SpanContext(name, attrs)
+
+
+class _RequestContext:
+    """Root span of one request: allocates and propagates a trace ID.
+
+    Entering the context allocates a fresh ``trace_id``, binds it to the
+    current execution context (:mod:`contextvars`, so every span, event,
+    and metric exemplar recorded underneath inherits it — across the
+    whole call stack, but never across threads), and asks the tracer to
+    buffer the request's finished spans. On exit the collected span tree
+    is offered to the exemplar reservoir, which keeps it if the request
+    was among the slowest seen or errored.
+    """
+
+    __slots__ = ("_name", "_attrs", "_token", "_record")
+
+    def __init__(self, name: str, attrs: dict[str, object]) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._token = None
+        self._record: SpanRecord | None = None
+
+    def __enter__(self) -> SpanRecord:
+        state = _config._STATE
+        trace_id = new_trace_id()
+        self._token = tracing.bind_trace_id(trace_id)
+        state.tracer.watch(trace_id)
+        self._record = state.tracer.start(self._name, self._attrs)
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._record is not None and self._token is not None
+        state = _config._STATE
+        record = self._record
+        if exc_type is not None:
+            record.set("error", exc_type.__name__)
+            state.tracer.unwind_to(record)
+        else:
+            state.tracer.finish(record)
+        spans = state.tracer.unwatch(record.trace_id)
+        tracing.unbind_trace_id(self._token)
+        error = record.attrs.get("error")
+        state.exemplars.offer(Exemplar(
+            trace_id=record.trace_id, name=record.name,
+            duration=record.duration,
+            error=str(error) if error is not None else None,
+            spans=tuple(s.snapshot() for s in sorted(spans,
+                                                     key=lambda s: s.index)),
+            attrs=dict(record.attrs)))
+        return False
+
+
+def request(name: str, **attrs: object) -> _RequestContext | _NoopContext:
+    """Open a *request* span: a trace-ID-carrying root for one query.
+
+    Like :func:`trace`, but additionally allocates a request trace ID,
+    propagates it to everything recorded inside (spans, :func:`event`
+    lines, histogram/quantile exemplars), and offers the request's full
+    span tree to the exemplar reservoir on exit. The yielded span's
+    ``trace_id`` attribute is the allocated ID. No-op when disabled.
+    """
+    if not _config._STATE.enabled:
+        return NOOP_CONTEXT
+    return _RequestContext(name, attrs)
+
+
+def event(name: str, **fields: object) -> None:
+    """Append one structured event to the bounded in-process event log.
+
+    Events are the high-cardinality companion to counters: where
+    ``count("serve.degraded", reason=...)`` aggregates, an event records
+    the *individual occurrence* stamped with wall time and the current
+    request's trace ID, so a degraded answer in a capture can be joined
+    back to the exact request that produced it. No-op when disabled.
+    """
+    state = _config._STATE
+    if state.enabled:
+        state.events.append({
+            "type": "event", "name": name, "time": _time.time(),
+            "trace_id": tracing.current_trace_id(), **fields,
+        })
 
 
 _F = TypeVar("_F", bound=Callable)

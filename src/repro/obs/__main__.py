@@ -24,7 +24,7 @@ import pathlib
 import sys
 
 from repro.obs import runs
-from repro.obs.emitters import read_jsonl, render_multi_report
+from repro.obs.emitters import read_jsonl, render_exemplars, render_multi_report
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -36,7 +36,16 @@ def cmd_report(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             status = 1
-    if captures:
+    if not captures:
+        return status
+    if args.exemplars:
+        for i, (label, captured) in enumerate(captures):
+            if i:
+                print()
+            if len(captures) > 1:
+                print(f"== {label} ==")
+            print(render_exemplars(captured))
+    else:
         print(render_multi_report(captures))
     return status
 
@@ -94,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
         "report", help="pretty-print captures (several merge into one report)")
     report.add_argument("files", nargs="+", type=pathlib.Path,
                         help="capture file(s) written by repro.obs.write_jsonl")
+    report.add_argument("--exemplars", action="store_true",
+                        help="render retained request exemplars (slowest / "
+                             "errored) as full span trees instead of the "
+                             "aggregate report")
     report.set_defaults(fn=cmd_report)
 
     diff = sub.add_parser("diff", help="per-metric deltas of two run snapshots")

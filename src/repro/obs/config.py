@@ -10,10 +10,16 @@ between captured runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 
+from repro.obs.exemplars import ExemplarReservoir
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
+
+#: Bound on the structured event log (degradation events and the like);
+#: old events fall off the front under sustained load.
+MAX_EVENTS = 4096
 
 
 @dataclass
@@ -27,13 +33,17 @@ class ObsState:
     #: `enabled` — tracemalloc snapshots are far too heavy to ride along
     #: with every ordinary capture.
     profiling: bool = False
+    #: Request exemplars: span trees of the slowest / errored requests.
+    exemplars: ExemplarReservoir = field(default_factory=ExemplarReservoir)
+    #: Structured event log (`obs.event`): bounded, trace-ID-stamped.
+    events: deque = field(default_factory=lambda: deque(maxlen=MAX_EVENTS))
 
 
 _STATE = ObsState(enabled=False, registry=MetricsRegistry(), tracer=Tracer())
 
 
 def configure(enabled: bool | None = None, *, profiling: bool | None = None,
-              reset: bool = False) -> ObsState:
+              max_spans: int | None = None, reset: bool = False) -> ObsState:
     """Adjust the global observability state; returns it.
 
     Parameters
@@ -45,13 +55,22 @@ def configure(enabled: bool | None = None, *, profiling: bool | None = None,
         ``True`` additionally arms :func:`repro.obs.profile` spans
         (tracemalloc allocation deltas); requires ``enabled``. ``None``
         leaves the flag unchanged.
+    max_spans:
+        Bound the tracer's retained finished-span list (load runs would
+        otherwise grow it without limit; span *aggregates* keep counting
+        evicted spans). ``None`` leaves the current bound unchanged.
     reset:
-        Clear all recorded metrics and spans first (fails if a span is
-        still open — that indicates a leaked ``trace`` context).
+        Clear all recorded metrics, spans, events, and exemplars first
+        (fails if a span is still open — that indicates a leaked
+        ``trace`` context).
     """
     if reset:
         _STATE.tracer.reset()
         _STATE.registry.reset()
+        _STATE.exemplars.reset()
+        _STATE.events.clear()
+    if max_spans is not None:
+        _STATE.tracer.max_spans = max_spans
     if enabled is not None:
         _STATE.enabled = bool(enabled)
     if profiling is not None:
@@ -77,3 +96,8 @@ def get_registry() -> MetricsRegistry:
 def get_tracer() -> Tracer:
     """The process-wide tracer."""
     return _STATE.tracer
+
+
+def get_exemplars() -> ExemplarReservoir:
+    """The process-wide request-exemplar reservoir."""
+    return _STATE.exemplars

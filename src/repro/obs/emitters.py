@@ -111,20 +111,38 @@ def prometheus_text(registry: MetricsRegistry | None = None) -> str:
 def events(registry: MetricsRegistry | None = None,
            tracer: Tracer | None = None,
            meta: dict[str, object] | None = None) -> list[dict[str, object]]:
-    """The capture as a list of JSON-ready event dicts."""
+    """The capture as a list of JSON-ready event dicts.
+
+    Line order: one ``meta`` header, spans in start order, metric
+    snapshots, structured event-log lines (``type: "event"``), then
+    retained request exemplars (``type: "exemplar"``, full span trees).
+    When *registry*/*tracer* are passed explicitly (offline renders of
+    foreign state) the global event log and exemplar reservoir are
+    skipped — they only describe the live global capture.
+    """
+    offline = registry is not None or tracer is not None
     registry = registry if registry is not None else config.get_registry()
     tracer = tracer if tracer is not None else config.get_tracer()
+    event_log = [] if offline else list(config._STATE.events)
+    exemplars = ([] if offline
+                 else config.get_exemplars().snapshot())
     header: dict[str, object] = {
         "type": "meta",
         "epoch_wall": tracer.epoch_wall,
         "spans": len(tracer.spans),
         "metrics": len(registry),
+        "events": len(event_log),
+        "exemplars": len(exemplars),
     }
+    if tracer.dropped_spans:
+        header["dropped_spans"] = tracer.dropped_spans
     if meta:
         header.update(meta)
     out: list[dict[str, object]] = [header]
     out.extend(span.snapshot() for span in tracer.ordered())
     out.extend(registry.snapshot())
+    out.extend(event_log)
+    out.extend(exemplars)
     return out
 
 
@@ -213,10 +231,50 @@ def _span_total_lines(spans: list[dict[str, object]], title: str) -> list[str]:
     return lines
 
 
+def _event_line(event: dict[str, object]) -> str:
+    extras = {k: v for k, v in event.items()
+              if k not in ("type", "name", "time", "trace_id")}
+    extra_str = (" " + " ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+                 if extras else "")
+    trace = event.get("trace_id") or "-"
+    return f"  {event['name']}  trace={trace}{extra_str}"
+
+
+def _exemplar_summary_line(exemplar: dict[str, object]) -> str:
+    spans = exemplar.get("spans") or []
+    tag = (f"error={exemplar['error']}" if exemplar.get("error")
+           else "slow")
+    return (f"  [{tag}] {exemplar['name']}  "
+            f"{_format_seconds(float(exemplar['duration']))}  "
+            f"trace={exemplar['trace_id']}  spans={len(spans)}")
+
+
+def render_exemplars(captured: list[dict[str, object]]) -> str:
+    """Render every retained request exemplar as a full span tree."""
+    exemplars = [e for e in captured if e.get("type") == "exemplar"]
+    if not exemplars:
+        return "(no exemplars in capture)"
+    lines: list[str] = []
+    for exemplar in exemplars:
+        if lines:
+            lines.append("")
+        title = (f"Exemplar [{exemplar['reason']}] {exemplar['name']}  "
+                 f"{_format_seconds(float(exemplar['duration']))}  "
+                 f"trace={exemplar['trace_id']}")
+        if exemplar.get("error"):
+            title += f"  error={exemplar['error']}"
+        spans = list(exemplar.get("spans") or [])
+        lines.extend(_trace_lines(spans, title) if spans
+                     else [title, "-" * len(title), "  (no spans captured)"])
+    return "\n".join(lines)
+
+
 def render_report(captured: list[dict[str, object]]) -> str:
     """Pretty-print a parsed JSONL capture: span tree + metric list."""
     spans = [e for e in captured if e.get("type") == "span"]
     metrics = [e for e in captured if e.get("type") == "metric"]
+    event_log = [e for e in captured if e.get("type") == "event"]
+    exemplars = [e for e in captured if e.get("type") == "exemplar"]
     lines: list[str] = []
     if spans:
         lines.extend(_trace_lines(spans, "Trace"))
@@ -228,6 +286,18 @@ def render_report(captured: list[dict[str, object]]) -> str:
         lines.append("Metrics")
         lines.append("-------")
         lines.extend(_metric_line(m) for m in metrics)
+    if event_log:
+        if lines:
+            lines.append("")
+        lines.append("Events")
+        lines.append("------")
+        lines.extend(_event_line(e) for e in event_log)
+    if exemplars:
+        if lines:
+            lines.append("")
+        lines.append("Exemplars (render trees with: report --exemplars)")
+        lines.append("--------------------------------------------------")
+        lines.extend(_exemplar_summary_line(e) for e in exemplars)
     if not lines:
         lines.append("(empty capture: no spans, no metrics)")
     return "\n".join(lines)

@@ -16,6 +16,7 @@ import math
 from typing import Iterator
 
 from repro.obs.quantiles import DEFAULT_QUANTILES, Quantile
+from repro.obs.tracing import current_trace_id
 
 #: Default histogram bucket upper bounds (seconds-flavoured, works for
 #: latencies and for small unit-less values alike).
@@ -87,7 +88,7 @@ class Histogram:
 
     kind = "histogram"
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
-                 "sum", "min", "max")
+                 "sum", "min", "max", "exemplar")
 
     def __init__(self, name: str, labels: dict[str, str] | None = None,
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
@@ -101,6 +102,10 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: Trace-ID exemplar of the worst (max) observation recorded
+        #: inside a request context — joins the p99 tail back to one
+        #: concrete request's span tree in the same capture.
+        self.exemplar: dict[str, object] | None = None
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -109,6 +114,10 @@ class Histogram:
         self.sum += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        if value >= self.max:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                self.exemplar = {"trace_id": trace_id, "value": value}
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.bucket_counts[i] += 1
@@ -120,7 +129,7 @@ class Histogram:
 
     def snapshot(self) -> dict[str, object]:
         """JSON-ready state of this child metric."""
-        return {
+        snap: dict[str, object] = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min if self.count else None,
@@ -128,6 +137,9 @@ class Histogram:
             "buckets": [list(pair) for pair in zip(self.buckets,
                                                    self.bucket_counts)],
         }
+        if self.exemplar is not None:
+            snap["exemplar"] = dict(self.exemplar)
+        return snap
 
 
 #: Any concrete metric child.

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import math
 
+from repro.obs.tracing import current_trace_id
+
 #: Quantiles every latency family tracks unless told otherwise.
 DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
 
@@ -133,7 +135,7 @@ class Quantile:
 
     kind = "quantile"
     __slots__ = ("name", "labels", "quantiles", "count", "sum", "min",
-                 "max", "_estimators")
+                 "max", "exemplar", "_estimators")
 
     def __init__(self, name: str, labels: dict[str, str] | None = None,
                  quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> None:
@@ -149,6 +151,9 @@ class Quantile:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: Trace-ID exemplar of the worst (max) observation recorded
+        #: inside a request context (see :class:`Histogram.exemplar`).
+        self.exemplar: dict[str, object] | None = None
         self._estimators = [P2Quantile(q) for q in self.quantiles]
 
     def observe(self, value: float) -> None:
@@ -158,6 +163,10 @@ class Quantile:
         self.sum += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        if value >= self.max:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                self.exemplar = {"trace_id": trace_id, "value": value}
         for estimator in self._estimators:
             estimator.observe(value)
 
@@ -180,7 +189,7 @@ class Quantile:
 
     def snapshot(self) -> dict[str, object]:
         """JSON-ready state of this child metric."""
-        return {
+        snap: dict[str, object] = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min if self.count else None,
@@ -188,3 +197,6 @@ class Quantile:
             "quantiles": {format(q, "g"): est
                           for q, est in self.estimates().items()},
         }
+        if self.exemplar is not None:
+            snap["exemplar"] = dict(self.exemplar)
+        return snap

@@ -41,7 +41,8 @@ SCHEMA_VERSION = 1
 #: failures) vs whose shrinkage is one (quality scores).
 _LOWER_IS_BETTER = re.compile(
     r"latency|duration|seconds|alloc|degraded|dropped|skipped|underfilled|"
-    r"failures|faults|guard\.trips|retries_exhausted|corrupt|rollbacks")
+    r"failures|faults|guard\.trips|retries_exhausted|corrupt|rollbacks|"
+    r"errors|error_rate")
 _HIGHER_IS_BETTER = re.compile(r"accuracy|agreement")
 #: Subset of lower-is-better keys that measure wall-clock or memory and
 #: therefore gate with the looser tolerance.

@@ -1,0 +1,44 @@
+"""Test doubles for time-dependent observability code.
+
+:class:`FakeClock` replaces ``time.monotonic`` wherever a component
+takes an injectable ``clock`` callable (:class:`repro.obs.slo.SLOMonitor`,
+:class:`repro.loadgen.telemetry.WindowedTelemetry`, ...), making
+windowed behaviour — burn-rate windows, per-second telemetry buckets,
+ring eviction — deterministic. It used to be copy-pasted per test
+module; this is the one shared implementation.
+"""
+
+from __future__ import annotations
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock.
+
+    Parameters
+    ----------
+    start:
+        Initial reading.
+    tick:
+        Seconds the clock auto-advances *after* each call — a cheap way
+        to simulate time passing "by itself" in code that polls the
+        clock in a loop. Defaults to 0.0 (fully manual).
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise ValueError(f"tick must be >= 0, got {tick}")
+        self.now = float(start)
+        self.tick = float(tick)
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        reading = self.now
+        self.now += self.tick
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by *seconds* (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds} (negative)")
+        self.now += seconds

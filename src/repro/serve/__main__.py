@@ -21,6 +21,13 @@ Commands
     human-readable line per SLO goes to stderr), and exit non-zero when
     unhealthy — a degraded index is serving, but it is not healthy, and
     neither is one breaching a latency or error-budget objective.
+``loadtest``
+    Drive a warm index with a seeded closed- or open-loop workload
+    (:mod:`repro.loadgen`): load the artifact when present (fit and
+    persist one otherwise), register every evaluation user, warm the
+    cache, run the schedule from real threads, and write
+    ``BENCH_serve_load.json``, a JSONL observability capture, and a
+    run-registry snapshot that CI gates against the committed baseline.
 """
 
 from __future__ import annotations
@@ -179,6 +186,88 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.loadgen import (LoadRunner, WorkloadMix, build_report,
+                               build_schedule, write_report)
+    from repro.obs import runs
+
+    # Fit-or-load happens *before* observability capture starts, so the
+    # run snapshot holds serving-and-load metrics only — training
+    # counters would drown the gate in fit noise.
+    directory = Path(args.dir)
+    if (directory / "manifest.json").exists():
+        print(f"loading artifact from {directory} ...", file=sys.stderr)
+        task = _reload_task(str(directory))
+        index = ServingIndex.from_artifact(str(directory),
+                                           papers=task.new_papers)
+    else:
+        print(f"no artifact at {directory}; fitting one "
+              f"(scale={args.scale}, seed={args.seed}) ...", file=sys.stderr)
+        task = _build_task(args.scale, args.seed, args.split_year, args.users)
+        recommender = NPRecRecommender(_fit_config(args.seed))
+        recommender.fit(task.corpus, task.train_papers, task.new_papers)
+        save_pipeline(recommender, str(directory), corpus=task.corpus,
+                      extra_metadata={
+                          "corpus": "acm", "scale": args.scale,
+                          "seed": args.seed, "split_year": args.split_year,
+                          "users": args.users,
+                      })
+        index = ServingIndex.from_artifact(str(directory),
+                                           papers=task.new_papers)
+    if index.degraded:
+        print("WARNING: index is degraded; load run exercises the "
+              "TF-IDF fallback only", file=sys.stderr)
+
+    obs.configure(enabled=True, reset=True)
+    for user in task.users:
+        index.register_user(user.author_id, list(user.train_papers))
+    user_ids = [u.author_id for u in task.users]
+    for user_id in user_ids:  # warm: first miss per user is not the run's
+        index.top_k(user_id, k=args.k)
+
+    schedule = build_schedule(
+        user_ids, list(task.train_papers), args.requests,
+        mode=args.mode, concurrency=args.concurrency, qps=args.qps,
+        mix=WorkloadMix(query=args.mix_query, ingest=args.mix_ingest,
+                        probe=args.mix_probe),
+        k=args.k, seed=args.seed)
+    print(f"running {len(schedule)} {schedule.mode}-loop requests "
+          f"(concurrency={schedule.concurrency}, seed={schedule.seed}, "
+          f"schedule sha256 {schedule.sha256()[:12]}) ...", file=sys.stderr)
+    runner = LoadRunner(index, schedule)
+    summary = runner.run()
+
+    meta = {"seed": args.seed, "mode": args.mode,
+            "concurrency": args.concurrency, "requests": args.requests,
+            "k": args.k, "target_qps": args.qps,
+            "schedule_sha256": schedule.sha256()}
+    report = build_report(schedule, summary, runner.telemetry,
+                          registry=obs.get_registry(), meta=meta)
+    out = write_report(args.out, report)
+    capture = Path(args.capture)
+    capture.parent.mkdir(parents=True, exist_ok=True)
+    obs.write_jsonl(capture)
+    snapshot = runs.write_run(args.runs_dir, run_id=args.run_id, meta=meta)
+
+    overall = report["latency"].get("overall") or {}
+    fmt = lambda key: (f"{overall[key] * 1000:.2f}ms"
+                       if overall.get(key) is not None else "-")
+    print(f"loadtest done: {summary.completed}/{summary.scheduled} requests "
+          f"in {summary.duration:.2f}s ({summary.achieved_qps:.0f} qps), "
+          f"{summary.errors} errors, "
+          f"p50 {fmt('p50')} / p95 {fmt('p95')} / p99 {fmt('p99')}",
+          file=sys.stderr)
+    print(f"report: {out}\ncapture: {capture}\nrun snapshot: {snapshot}",
+          file=sys.stderr)
+    print(json.dumps({"report": str(out), "capture": str(capture),
+                      "run_snapshot": str(snapshot),
+                      "achieved_qps": summary.achieved_qps,
+                      "errors": summary.errors,
+                      "schedule_sha256": schedule.sha256()}))
+    return 0 if summary.errors == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -214,6 +303,36 @@ def main(argv: list[str] | None = None) -> int:
     health.add_argument("--retries", type=int, default=3,
                         help="artifact load attempts before degrading")
     health.set_defaults(fn=cmd_health)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="seeded closed/open-loop load run writing BENCH_serve_load.json")
+    loadtest.add_argument("--dir", default="artifacts/serve",
+                          help="artifact directory (loaded when present, "
+                               "fitted and persisted otherwise)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="workload (and fit, when fitting) seed")
+    loadtest.add_argument("--requests", type=int, default=300)
+    loadtest.add_argument("--mode", choices=("closed", "open"),
+                          default="closed")
+    loadtest.add_argument("--concurrency", type=int, default=4)
+    loadtest.add_argument("--qps", type=float, default=None,
+                          help="open-loop target arrival rate")
+    loadtest.add_argument("-k", type=int, default=10)
+    loadtest.add_argument("--mix-query", type=float, default=0.90)
+    loadtest.add_argument("--mix-ingest", type=float, default=0.04)
+    loadtest.add_argument("--mix-probe", type=float, default=0.06)
+    loadtest.add_argument("--scale", type=float, default=0.3,
+                          help="corpus scale when fitting a fresh artifact")
+    loadtest.add_argument("--split-year", type=int, default=2014)
+    loadtest.add_argument("--users", type=int, default=12)
+    loadtest.add_argument("--out", default="results/BENCH_serve_load.json")
+    loadtest.add_argument("--capture", default="results/obs/serve_load.jsonl")
+    loadtest.add_argument("--runs-dir", default="results/obs/runs")
+    loadtest.add_argument("--run-id", default="serve_load",
+                          help="run-registry snapshot id (fixed so CI can "
+                               "gate against the committed baseline)")
+    loadtest.set_defaults(fn=cmd_loadtest)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -29,6 +29,7 @@ model has never seen falls back to TF-IDF content ranking, counting
 from __future__ import annotations
 
 import heapq
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Sequence
@@ -104,6 +105,11 @@ class ServingIndex:
                                              else None)
         self._last_load_error: RetryExhaustedError | None = None
         self._query_fault = False
+        # Serialises pool mutation and retrieval so the index can be
+        # driven from concurrent threads (the repro.loadgen closed
+        # loop). Reentrant: add_paper at construction time and health
+        # probes nest inside already-locked sections.
+        self._serve_lock = threading.RLock()
         # Publish the serving objectives once; replace=False keeps any
         # operator-tuned SLO registered under the same name.
         for slo in default_serving_slos():
@@ -175,6 +181,7 @@ class ServingIndex:
             recommender, affiliations = _load()
         except RetryExhaustedError as exc:
             obs.count("serve.degraded", reason="artifact_load_failed")
+            obs.event("serve.degraded", reason="artifact_load_failed")
             obs.count("serve.artifact.load_failures")
             with obs.trace("serve.degraded_startup", error=str(exc)):
                 index = cls(None, papers, block_size=block_size,
@@ -209,48 +216,57 @@ class ServingIndex:
 
         Returns the paper's position in the pool.
         """
-        if paper.id in self._positions:
-            raise ValueError(f"paper {paper.id!r} is already in the pool")
         if self.degraded:
-            with obs.trace("serve.add_paper", paper=paper.id) as span:
-                self._append(paper, None)
-                obs.count("serve.papers_ingested", mode="degraded")
-                self._invalidate()
+            with obs.request("serve.add_paper", paper=paper.id) as span:
+                with self._serve_lock:
+                    if paper.id in self._positions:
+                        raise ValueError(
+                            f"paper {paper.id!r} is already in the pool")
+                    self._append(paper, None)
+                    obs.count("serve.papers_ingested", mode="degraded")
+                    self._invalidate()
+                    position = self._positions[paper.id]
             self._observe_latency("serve.ingest", span.duration)
-            return self._positions[paper.id]
+            return position
 
         rec = self._recommender
         model = rec.model
         graph = model.graph
-        with obs.trace("serve.add_paper", paper=paper.id) as span:
-            if ("paper", paper.id) in graph:
-                # Known to the model (e.g. a fit-time paper joining the
-                # pool late): no graph/model mutation needed.
-                row = self._influence_rows([paper.id])[0]
-            else:
-                text_vector, content_vector = self._prepare_ingest(paper)
-                index = attach_paper_to_network(graph, paper,
-                                                self._affiliations)
-                model.attach_paper(index, text_vector=text_vector,
-                                   content_vector=content_vector)
-                row = self._influence_rows([paper.id])[0]
-            obs.count("serve.papers_ingested")
-            self._append(paper, row)
-            self._invalidate()
+        with obs.request("serve.add_paper", paper=paper.id) as span:
+            with self._serve_lock:
+                if paper.id in self._positions:
+                    raise ValueError(
+                        f"paper {paper.id!r} is already in the pool")
+                if ("paper", paper.id) in graph:
+                    # Known to the model (e.g. a fit-time paper joining the
+                    # pool late): no graph/model mutation needed.
+                    row = self._influence_rows([paper.id])[0]
+                else:
+                    text_vector, content_vector = self._prepare_ingest(paper)
+                    index = attach_paper_to_network(graph, paper,
+                                                    self._affiliations)
+                    model.attach_paper(index, text_vector=text_vector,
+                                       content_vector=content_vector)
+                    row = self._influence_rows([paper.id])[0]
+                obs.count("serve.papers_ingested")
+                self._append(paper, row)
+                self._invalidate()
+                position = self._positions[paper.id]
         self._observe_latency("serve.ingest", span.duration)
-        return self._positions[paper.id]
+        return position
 
     @staticmethod
-    def _observe_latency(name: str, seconds: float) -> None:
+    def _observe_latency(name: str, seconds: float, **labels: str) -> None:
         """Record one latency sample into histogram + quantile families.
 
         ``<name>.duration_seconds`` keeps the fixed Prometheus buckets;
         ``<name>.latency`` feeds the P² sketch whose p50/p90/p99 back the
         serving SLOs (:func:`repro.obs.slo.default_serving_slos`) and the
-        run-snapshot regression gate. Both are no-ops when obs is off.
+        run-snapshot regression gate. Labels (e.g. ``cache=hit|miss``)
+        apply to both twins. Both are no-ops when obs is off.
         """
-        obs.observe(f"{name}.duration_seconds", seconds)
-        obs.observe_quantile(f"{name}.latency", seconds)
+        obs.observe(f"{name}.duration_seconds", seconds, **labels)
+        obs.observe_quantile(f"{name}.latency", seconds, **labels)
 
     def _prepare_ingest(self, paper: Paper) -> tuple:
         """The fallible, side-effect-free half of ingestion, retried.
@@ -289,18 +305,21 @@ class ServingIndex:
         if not papers:
             raise ValueError("user profile needs at least one paper")
         profile: np.ndarray | None = None
-        if not self.degraded:
-            try:
-                profile = self._recommender.model.interest_vectors(
-                    [p.id for p in papers]).data
-            except GraphError:
-                obs.count("serve.degraded", reason="unknown_entity")
-        self._profiles[user_id] = (papers, profile)
-        self._drop_cached_user(user_id)
+        with self._serve_lock:
+            if not self.degraded:
+                try:
+                    profile = self._recommender.model.interest_vectors(
+                        [p.id for p in papers]).data
+                except GraphError:
+                    obs.count("serve.degraded", reason="unknown_entity")
+                    obs.event("serve.degraded", reason="unknown_entity")
+            self._profiles[user_id] = (papers, profile)
+            self._drop_cached_user(user_id)
 
     def invalidate(self) -> None:
         """Explicitly drop every cached query result."""
-        self._cache.clear()
+        with self._serve_lock:
+            self._cache.clear()
 
     def _invalidate(self) -> None:
         self._cache.clear()
@@ -366,26 +385,36 @@ class ServingIndex:
             user_key = tuple(p.id for p in papers)
             profile = None
         obs.count("serve.queries")
-        with obs.trace("serve.query", k=int(k)) as span:
-            cache_key = (user_key, int(k))
-            cached = self._cache.get(cache_key)
-            if cached is not None:
-                self._cache.move_to_end(cache_key)
-                self.cache_hits += 1
-                obs.count("serve.cache", outcome="hit")
-                result = list(cached)
-            else:
-                self.cache_misses += 1
-                obs.count("serve.cache", outcome="miss")
-                result = self._query(papers, profile, k)
-                if not self._query_fault:
-                    # A result produced through the fault-degradation path
-                    # is never cached: the next identical query should get
-                    # the healthy ranking back as soon as the fault clears.
-                    self._cache[cache_key] = tuple(result)
-                    while len(self._cache) > self.cache_size:
-                        self._cache.popitem(last=False)
-        self._observe_latency("serve.query", span.duration)
+        # A request span (not a plain trace): allocates the trace_id
+        # every nested span, degradation event, and metric exemplar
+        # carries, and offers the finished span tree to the exemplar
+        # reservoir. Lock wait is inside the span: client-visible latency.
+        with obs.request("serve.query", k=int(k)) as span:
+            with self._serve_lock:
+                cache_key = (user_key, int(k))
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    self._cache.move_to_end(cache_key)
+                    self.cache_hits += 1
+                    outcome = "hit"
+                    obs.count("serve.cache", outcome="hit")
+                    result = list(cached)
+                else:
+                    self.cache_misses += 1
+                    outcome = "miss"
+                    obs.count("serve.cache", outcome="miss")
+                    result = self._query(papers, profile, k)
+                    if not self._query_fault:
+                        # A result produced through the fault-degradation path
+                        # is never cached: the next identical query should get
+                        # the healthy ranking back as soon as the fault clears.
+                        self._cache[cache_key] = tuple(result)
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
+            span.set("cache", outcome)
+        # Split by cache outcome: hit-path latency is microseconds and
+        # would otherwise mask the miss-path tail in the merged p99.
+        self._observe_latency("serve.query", span.duration, cache=outcome)
         return result
 
     def _query(self, user_papers: list[Paper],
@@ -395,6 +424,7 @@ class ServingIndex:
             return []
         if self.degraded:
             obs.count("serve.degraded", reason="no_model")
+            obs.event("serve.degraded", reason="no_model")
             return self._fallback_rank(user_papers, k)
         try:
             faults.maybe_fail("serve.query")
@@ -405,6 +435,7 @@ class ServingIndex:
                         [p.id for p in user_papers]).data
                 except GraphError:
                     obs.count("serve.degraded", reason="unknown_entity")
+                    obs.event("serve.degraded", reason="unknown_entity")
                     return self._fallback_rank(user_papers, k)
             return self._blockwise_top_k(interest, k)
         except InjectedFault:
@@ -412,6 +443,7 @@ class ServingIndex:
             # through the TF-IDF fallback instead of erroring out.
             self._query_fault = True
             obs.count("serve.degraded", reason="query_fault")
+            obs.event("serve.degraded", reason="query_fault")
             return self._fallback_rank(user_papers, k)
 
     def _blockwise_top_k(self, interest: np.ndarray, k: int) -> list[str]:
@@ -460,6 +492,12 @@ class ServingIndex:
         return [self._ids[i] for i in order]
 
     def _fallback(self) -> tuple[TfIdfIndex, np.ndarray]:
+        # Reentrant: already held when reached via top_k(); taken fresh
+        # when a health probe rebuilds the lazy index under live traffic.
+        with self._serve_lock:
+            return self._fallback_locked()
+
+    def _fallback_locked(self) -> tuple[TfIdfIndex, np.ndarray]:
         if self._fallback_tfidf is None:
             # Vocabulary from the historical slice when a model is
             # around (matches the offline content baseline); from the
@@ -574,8 +612,9 @@ class ServingIndex:
         Called by :meth:`health` when the fallback probe fails; also safe
         to call directly after mutating the pool out of band.
         """
-        self._fallback_tfidf = None
-        self._fallback_matrix = None
+        with self._serve_lock:
+            self._fallback_tfidf = None
+            self._fallback_matrix = None
         obs.count("serve.self_heal", component="fallback")
 
     def _probe_fallback(self) -> bool:
@@ -591,10 +630,12 @@ class ServingIndex:
         if self.degraded or self._influence is None:
             return False
         try:
-            self._influence = self._influence_rows(self._ids)
+            healed = self._influence_rows(self._ids)
         except Exception:
             return False
-        self._novelty_z = None
-        self._cache.clear()
+        with self._serve_lock:
+            self._influence = healed
+            self._novelty_z = None
+            self._cache.clear()
         obs.count("serve.self_heal", component="influence")
         return bool(np.isfinite(self._influence).all())

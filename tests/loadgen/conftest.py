@@ -1,0 +1,46 @@
+"""Fixtures for the load-generator tests.
+
+The runner tests drive a *degraded* :class:`ServingIndex` (no fitted
+model, TF-IDF fallback only): the loop disciplines, telemetry, and
+trace plumbing under test are identical to the modelled path, and
+skipping the fit keeps the suite inside tier-1 time budgets.
+"""
+
+import pytest
+
+from repro import obs
+from repro.data import load_acm
+from repro.serve.index import ServingIndex
+
+USER_IDS = ("load-user-a", "load-user-b")
+
+
+@pytest.fixture(scope="session")
+def acm_papers():
+    corpus = load_acm(scale=0.15, seed=3)
+    papers = list(corpus.papers)
+    assert len(papers) >= 40
+    return papers
+
+
+@pytest.fixture
+def degraded_index(acm_papers):
+    index = ServingIndex(None, papers=acm_papers[:25])
+    index.register_user(USER_IDS[0], acm_papers[25:28])
+    index.register_user(USER_IDS[1], acm_papers[28:31])
+    return index
+
+
+@pytest.fixture
+def template_papers(acm_papers):
+    """Payload templates for ingest/probe requests."""
+    return acm_papers[31:40]
+
+
+@pytest.fixture
+def obs_enabled():
+    state = obs.configure(enabled=True, profiling=False, reset=True)
+    try:
+        yield state
+    finally:
+        obs.configure(enabled=False, profiling=False, reset=True)

@@ -1,0 +1,170 @@
+"""Loop execution, trace propagation across threads, and the BENCH report."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.loadgen import (
+    REPORT_SCHEMA_VERSION,
+    LoadRunner,
+    WorkloadMix,
+    build_report,
+    build_schedule,
+    write_report,
+)
+from tests.loadgen.conftest import USER_IDS
+
+
+def make_schedule(template_papers, n=40, **overrides):
+    options = dict(mode="closed", concurrency=3, seed=0)
+    options.update(overrides)
+    return build_schedule(list(USER_IDS), template_papers, n, **options)
+
+
+class TestClosedLoop:
+    def test_completes_every_request(self, degraded_index, template_papers,
+                                     obs_enabled):
+        schedule = make_schedule(template_papers)
+        runner = LoadRunner(degraded_index, schedule)
+        summary = runner.run()
+        assert summary.completed == len(schedule) == summary.scheduled
+        assert summary.errors == 0
+        assert sum(summary.by_kind.values()) == summary.completed
+        assert runner.telemetry.total == summary.completed
+        assert summary.duration > 0 and summary.achieved_qps > 0
+
+    def test_kind_counts_follow_the_schedule(self, degraded_index,
+                                             template_papers, obs_enabled):
+        schedule = make_schedule(template_papers, n=60)
+        expected = {}
+        for request in schedule.requests:
+            expected[request.kind] = expected.get(request.kind, 0) + 1
+        summary = LoadRunner(degraded_index, schedule).run()
+        assert summary.by_kind == expected
+
+    def test_latency_family_tracks_p95(self, degraded_index, template_papers,
+                                       obs_enabled):
+        schedule = make_schedule(template_papers)
+        summary = LoadRunner(degraded_index, schedule).run()
+        registry = obs.get_registry()
+        overall = registry.get("loadgen.request.latency")
+        assert overall is not None and overall.count == summary.completed
+        assert 0.95 in overall.quantiles
+        for kind, count in summary.by_kind.items():
+            child = registry.get("loadgen.request.latency", kind=kind)
+            assert child is not None and child.count == count
+
+    def test_errors_are_caught_and_counted(self, degraded_index,
+                                           template_papers, obs_enabled):
+        schedule = make_schedule(template_papers, n=60)
+        ingests = sum(1 for r in schedule.requests if r.kind == "ingest")
+        assert ingests > 0
+        LoadRunner(degraded_index, schedule).run()
+        # Replaying the same schedule re-ingests the same paper ids:
+        # every ingest now raises the duplicate-id guard. The workers
+        # must survive and count, not crash.
+        summary = LoadRunner(degraded_index, schedule).run()
+        assert summary.completed == len(schedule)
+        assert summary.errors == ingests
+        assert summary.errors_by_kind == {"ingest": ingests}
+        assert summary.error_rate == pytest.approx(ingests / len(schedule))
+        total = obs.get_registry().family_total("loadgen.request.errors")
+        assert total == ingests
+
+    def test_trace_ids_propagate_across_worker_threads(
+            self, degraded_index, template_papers, obs_enabled, tmp_path):
+        schedule = make_schedule(template_papers, concurrency=4)
+        LoadRunner(degraded_index, schedule).run()
+        reservoir = obs.get_exemplars()
+        exemplars = reservoir.slowest() + reservoir.errored()
+        assert exemplars
+        # Every exemplar kept a coherent span tree: a trace id of its
+        # own, stamped on each retained span.
+        ids = [e.trace_id for e in exemplars]
+        assert all(ids) and len(set(ids)) == len(ids)
+        for exemplar in exemplars:
+            assert exemplar.spans
+            assert {s["trace_id"] for s in exemplar.spans} == \
+                   {exemplar.trace_id}
+        # ... and each one joins back to span lines in the JSONL capture.
+        path = tmp_path / "load.jsonl"
+        obs.write_jsonl(path)
+        lines = [json.loads(line) for line in
+                 path.read_text().strip().splitlines()]
+        span_ids = {l["trace_id"] for l in lines if l.get("type") == "span"}
+        for exemplar in exemplars:
+            assert exemplar.trace_id in span_ids
+
+    def test_probe_requests_degrade_and_emit_events(
+            self, degraded_index, template_papers, obs_enabled):
+        schedule = make_schedule(
+            template_papers, n=10,
+            mix=WorkloadMix(query=0, ingest=0, probe=1))
+        summary = LoadRunner(degraded_index, schedule).run()
+        assert summary.by_kind == {"probe": 10}
+        assert runner_degraded_total() >= 10
+        assert obs_degraded_events() >= 10
+        assert LoadRunner(degraded_index, schedule).telemetry.degraded == 0
+
+
+def runner_degraded_total():
+    return obs.get_registry().family_total("serve.degraded")
+
+
+def obs_degraded_events():
+    state = obs.configure()
+    return sum(1 for e in state.events if e["name"] == "serve.degraded"
+               and e["trace_id"] is not None)
+
+
+class TestOpenLoop:
+    def test_open_loop_completes(self, degraded_index, template_papers,
+                                 obs_enabled):
+        schedule = make_schedule(template_papers, n=20, mode="open",
+                                 qps=400.0)
+        summary = LoadRunner(degraded_index, schedule).run()
+        assert summary.completed == 20
+        assert summary.mode == "open"
+        # An open loop cannot finish before its last scheduled arrival.
+        assert summary.duration >= schedule.requests[-1].arrival
+
+
+class TestReport:
+    def test_bench_schema(self, degraded_index, template_papers,
+                          obs_enabled, tmp_path):
+        schedule = make_schedule(template_papers)
+        runner = LoadRunner(degraded_index, schedule)
+        summary = runner.run()
+        report = build_report(schedule, summary, runner.telemetry,
+                              registry=obs.get_registry(),
+                              meta={"seed": 0})
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+        workload = report["workload"]
+        assert workload["schedule_sha256"] == schedule.sha256()
+        assert workload["mode"] == "closed" and workload["seed"] == 0
+        assert workload["requests"] == len(schedule)
+        run = report["run"]
+        assert run["completed"] == summary.completed
+        assert run["achieved_qps"] == pytest.approx(summary.achieved_qps)
+        assert isinstance(run["slo"], list)
+        overall = report["latency"]["overall"]
+        for key in ("count", "mean", "max", "p50", "p95", "p99"):
+            assert key in overall
+        assert set(report["latency"]["by_kind"]) == set(summary.by_kind)
+        assert report["degraded"]["count"] >= 0
+        assert report["timeseries"]["series"]
+        assert report["meta"] == {"seed": 0}
+        # The document round-trips through JSON unchanged.
+        path = write_report(tmp_path / "BENCH_serve_load.json", report)
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(report))
+
+    def test_report_without_registry(self, degraded_index, template_papers,
+                                     obs_enabled):
+        schedule = make_schedule(template_papers, n=10)
+        runner = LoadRunner(degraded_index, schedule)
+        summary = runner.run()
+        report = build_report(schedule, summary, runner.telemetry)
+        assert "overall" not in report["latency"]
+        assert report["degraded"]["count"] == runner.telemetry.degraded

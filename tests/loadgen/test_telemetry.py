@@ -1,0 +1,63 @@
+"""Windowed per-second telemetry: bucketing, eviction, quantiles."""
+
+import pytest
+
+from repro.loadgen.telemetry import WindowedTelemetry
+from repro.obs.testing import FakeClock
+
+
+def test_records_land_in_their_second():
+    clock = FakeClock()
+    telemetry = WindowedTelemetry(window=10, clock=clock)
+    telemetry.record(0.010)
+    telemetry.record(0.020)
+    clock.advance(1.2)
+    telemetry.record(0.030, error=True)
+    series = telemetry.series()
+    assert [bin_["second"] for bin_ in series] == [0, 1]
+    assert series[0]["count"] == 2 and series[0]["errors"] == 0
+    assert series[1]["count"] == 1 and series[1]["errors"] == 1
+    assert series[1]["max"] == pytest.approx(0.030)
+    assert telemetry.total == 3 and telemetry.errors == 1
+
+
+def test_bins_sketch_their_own_quantiles():
+    telemetry = WindowedTelemetry(clock=FakeClock())
+    for latency in (0.010, 0.020, 0.030, 0.040, 0.100):
+        telemetry.record(latency)
+    [bin_] = telemetry.series()
+    assert bin_["p50"] == pytest.approx(0.030)
+    assert bin_["p95"] == pytest.approx(0.088, abs=0.02)
+    assert bin_["mean"] == pytest.approx(0.040)
+
+
+def test_window_eviction_counts_dropped_seconds():
+    clock = FakeClock()
+    telemetry = WindowedTelemetry(window=2, clock=clock)
+    for _ in range(4):
+        telemetry.record(0.01)
+        clock.advance(1.0)
+    series = telemetry.series()
+    assert [bin_["second"] for bin_ in series] == [2, 3]
+    assert telemetry.dropped_seconds == 2
+    assert telemetry.total == 4  # totals survive eviction
+
+
+def test_degraded_tally_and_snapshot_shape():
+    clock = FakeClock()
+    telemetry = WindowedTelemetry(window=5, clock=clock)
+    telemetry.record(0.01, degraded=True)
+    telemetry.record(0.02)
+    snap = telemetry.snapshot()
+    assert snap["window_seconds"] == 5
+    assert snap["retained_seconds"] == 1
+    assert snap["dropped_seconds"] == 0
+    assert snap["total"] == 2 and snap["degraded"] == 1
+    assert snap["series"][0]["degraded"] == 1
+    clock.advance(2.0)
+    assert telemetry.elapsed() == pytest.approx(2.0)
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        WindowedTelemetry(window=0)

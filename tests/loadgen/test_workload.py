@@ -1,0 +1,106 @@
+"""Schedule determinism and workload construction invariants."""
+
+import pytest
+
+from repro.loadgen import Request, Schedule, WorkloadMix, build_schedule
+from repro.loadgen.workload import KINDS
+
+
+def build(papers, **overrides):
+    options = dict(user_ids=["u1", "u2"], papers=papers, n_requests=64,
+                   seed=0)
+    options.update(overrides)
+    return build_schedule(options.pop("user_ids"), options.pop("papers"),
+                          options.pop("n_requests"), **options)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, template_papers):
+        a = build(template_papers, seed=7)
+        b = build(template_papers, seed=7)
+        assert [r.signature() for r in a.requests] == \
+               [r.signature() for r in b.requests]
+        assert a.sha256() == b.sha256()
+
+    def test_same_seed_same_open_loop_arrivals(self, template_papers):
+        a = build(template_papers, mode="open", qps=100.0, seed=3)
+        b = build(template_papers, mode="open", qps=100.0, seed=3)
+        assert a.sha256() == b.sha256()
+        assert all(r.arrival is not None for r in a.requests)
+
+    def test_different_seed_different_schedule(self, template_papers):
+        assert build(template_papers, seed=0).sha256() != \
+               build(template_papers, seed=1).sha256()
+
+    def test_sha_covers_arrivals(self, template_papers):
+        closed = build(template_papers, seed=0)
+        opened = build(template_papers, mode="open", qps=100.0, seed=0)
+        assert closed.sha256() != opened.sha256()
+
+
+class TestScheduleShape:
+    def test_arrivals_increase_monotonically(self, template_papers):
+        schedule = build(template_papers, mode="open", qps=250.0)
+        arrivals = [r.arrival for r in schedule.requests]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert arrivals[0] > 0
+
+    def test_closed_loop_has_no_arrivals(self, template_papers):
+        schedule = build(template_papers)
+        assert all(r.arrival is None for r in schedule.requests)
+
+    def test_payload_ids_are_unique_and_cold(self, template_papers):
+        schedule = build(template_papers, n_requests=200)
+        payloads = [r.paper for r in schedule.requests if r.paper is not None]
+        assert payloads, "mix should schedule some ingests/probes"
+        assert len({p.id for p in payloads}) == len(payloads)
+        for paper in payloads:
+            assert paper.id.startswith("loadgen-")
+            assert paper.references == () and paper.citation_count == 0
+
+    def test_queries_pick_registered_users(self, template_papers):
+        schedule = build(template_papers, n_requests=100, k=7)
+        queries = [r for r in schedule.requests if r.kind == "query"]
+        assert queries
+        assert {r.user_id for r in queries} <= {"u1", "u2"}
+        assert all(r.k == 7 for r in schedule.requests)
+
+    def test_mix_shifts_kind_frequencies(self, template_papers):
+        all_probes = build(template_papers,
+                           mix=WorkloadMix(query=0, ingest=0, probe=1))
+        assert {r.kind for r in all_probes.requests} == {"probe"}
+
+
+class TestValidation:
+    def test_bad_args_raise(self, template_papers):
+        with pytest.raises(ValueError):
+            build(template_papers, mode="sideways")
+        with pytest.raises(ValueError):
+            build(template_papers, mode="open")  # no qps
+        with pytest.raises(ValueError):
+            build(template_papers, n_requests=0)
+        with pytest.raises(ValueError):
+            build(template_papers, concurrency=0)
+        with pytest.raises(ValueError):
+            build(template_papers, user_ids=[])
+        with pytest.raises(ValueError):
+            build([])
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(query=-1.0)
+        with pytest.raises(ValueError):
+            WorkloadMix(query=0, ingest=0, probe=0)
+        assert sum(WorkloadMix(query=3, ingest=1,
+                               probe=1).probabilities()) == pytest.approx(1.0)
+
+    def test_unknown_request_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Request(index=0, kind="teapot")
+
+    def test_len_and_fields(self, template_papers):
+        schedule = build(template_papers, n_requests=12, concurrency=3)
+        assert len(schedule) == 12
+        assert isinstance(schedule, Schedule)
+        assert schedule.concurrency == 3
+        assert set(r.kind for r in schedule.requests) <= set(KINDS)

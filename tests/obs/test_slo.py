@@ -19,17 +19,7 @@ from repro.obs.slo import (
     registered_slos,
     unregister_slo,
 )
-
-
-class FakeClock:
-    def __init__(self, start=0.0):
-        self.now = start
-
-    def __call__(self):
-        return self.now
-
-    def advance(self, seconds):
-        self.now += seconds
+from repro.obs.testing import FakeClock
 
 
 class TestLatencySLO:

@@ -125,10 +125,15 @@ class TestSLOHealth:
         user = task.users[0]
         for _ in range(3):
             index.top_k(list(user.train_papers), k=5)
-        latency = obs.get_registry().get("serve.query.latency")
-        assert latency is not None and latency.count == 3
-        histogram = obs.get_registry().get("serve.query.duration_seconds")
-        assert histogram is not None and histogram.count == 3
+        # Latency twins are split by cache outcome: the first query is a
+        # miss, the repeats hit the LRU cache.
+        registry = obs.get_registry()
+        miss = registry.get("serve.query.latency", cache="miss")
+        hit = registry.get("serve.query.latency", cache="hit")
+        assert miss is not None and miss.count == 1
+        assert hit is not None and hit.count == 2
+        histogram = registry.get("serve.query.duration_seconds", cache="hit")
+        assert histogram is not None and histogram.count == 2
 
     def test_latency_breach_makes_index_unhealthy(self, artifact, obs_enabled):
         directory, task = artifact
