@@ -105,13 +105,20 @@ class LoadRunner:
     clock:
         Latency/duration timer (``time.perf_counter`` by default;
         injectable for tests).
+    sleep:
+        Open-loop pacing delay (``time.sleep`` by default). Inject it
+        together with *clock* — arrival delays are computed on *clock*,
+        so sleeping on a different time source would mis-pace the run
+        (a :class:`~repro.obs.testing.FakeClock` pairs its own
+        ``advance`` method with itself).
     """
 
     def __init__(self, index: "ServingIndex", schedule: Schedule, *,
                  telemetry: WindowedTelemetry | None = None,
                  monitor: SLOMonitor | None = None,
                  slo_interval: float = 1.0,
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         self.index = index
         self.schedule = schedule
         self.telemetry = (telemetry if telemetry is not None
@@ -120,6 +127,7 @@ class LoadRunner:
                         else SLOMonitor(list(default_serving_slos())))
         self.slo_interval = float(slo_interval)
         self._clock = clock
+        self._sleep = sleep
         self._lock = threading.Lock()
         self._next = 0  # closed-loop schedule cursor
         self.summary = RunSummary(mode=schedule.mode,
@@ -132,22 +140,29 @@ class LoadRunner:
         """Run one request against the index; never raises."""
         started = self._clock()
         error: Exception | None = None
-        try:
-            if request.kind == "query":
-                self.index.top_k(request.user_id, k=request.k)
-            elif request.kind == "probe":
-                self.index.top_k([request.paper], k=request.k)
-            else:  # ingest
-                self.index.add_paper(request.paper)
-        except Exception as exc:  # a load worker must survive anything
-            error = exc
+        # The loadgen-level request context owns the trace: the serving
+        # index's nested ``obs.request`` joins this ID instead of
+        # allocating its own, so the reservoir retains one coherent span
+        # tree per request — from dispatch down to the blockwise scorer —
+        # and the latency exemplars below can point into it.
+        with obs.request("loadgen.request", kind=request.kind) as span:
+            try:
+                if request.kind == "query":
+                    self.index.top_k(request.user_id, k=request.k)
+                elif request.kind == "probe":
+                    self.index.top_k([request.paper], k=request.k)
+                else:  # ingest
+                    self.index.add_paper(request.paper)
+            except Exception as exc:  # a load worker must survive anything
+                error = exc
+                span.set("error", type(exc).__name__)
         latency = self._clock() - started
         # Probes exercise the unknown-entity fallback by construction —
         # the one per-request degradation attribution that is exact
         # under concurrency (counter deltas are not).
         self.telemetry.record(latency, error=error is not None,
                               degraded=request.kind == "probe")
-        self._observe(request.kind, latency, error)
+        self._observe(request.kind, latency, error, span.trace_id)
         with self._lock:
             self.summary.completed += 1
             self.summary.by_kind[request.kind] = \
@@ -158,15 +173,20 @@ class LoadRunner:
                     self.summary.errors_by_kind.get(request.kind, 0) + 1
 
     @staticmethod
-    def _observe(kind: str, latency: float, error: Exception | None) -> None:
+    def _observe(kind: str, latency: float, error: Exception | None,
+                 trace_id: str | None) -> None:
         if not obs.is_enabled():
             return
         registry = obs.get_registry()
+        # trace_id is passed explicitly: the request context has already
+        # exited (its duration is only final then), so the ambient ID is
+        # unbound by the time these exemplars are recorded.
         registry.quantile("loadgen.request.latency",
-                          quantiles=LATENCY_QUANTILES).observe(latency)
+                          quantiles=LATENCY_QUANTILES).observe(
+                              latency, trace_id=trace_id)
         registry.quantile("loadgen.request.latency",
                           quantiles=LATENCY_QUANTILES,
-                          kind=kind).observe(latency)
+                          kind=kind).observe(latency, trace_id=trace_id)
         if error is not None:
             obs.count("loadgen.request.errors", kind=kind,
                       type=type(error).__name__)
@@ -210,12 +230,21 @@ class LoadRunner:
             for request in self.schedule.requests:
                 delay = (request.arrival or 0.0) - (self._clock() - started)
                 if delay > 0:
-                    time.sleep(delay)
+                    self._sleep(delay)
                 futures.append(pool.submit(self._issue, request))
                 if self._clock() - last_sample >= self.slo_interval:
                     self._sample_slos()
                     last_sample = self._clock()
-            wait(futures)
+            # Keep sampling SLOs while the in-flight tail drains —
+            # otherwise the end of the run (often where queueing delay
+            # concentrates) would be covered only by the single
+            # post-run sample.
+            pending = set(futures)
+            while pending:
+                _, pending = wait(pending, timeout=self.slo_interval)
+                if self._clock() - last_sample >= self.slo_interval:
+                    self._sample_slos()
+                    last_sample = self._clock()
 
     def _sample_slos(self) -> None:
         if not obs.is_enabled():

@@ -173,21 +173,31 @@ class _RequestContext:
     buffer the request's finished spans. On exit the collected span tree
     is offered to the exemplar reservoir, which keeps it if the request
     was among the slowest seen or errored.
+
+    Nested requests *join* the enclosing trace instead of allocating a
+    second ID: a ``serve.query`` request opened inside a
+    ``loadgen.request`` records its spans under the load generator's
+    trace, and only the outermost context offers the (single, coherent)
+    span tree to the reservoir.
     """
 
-    __slots__ = ("_name", "_attrs", "_token", "_record")
+    __slots__ = ("_name", "_attrs", "_token", "_record", "_owns")
 
     def __init__(self, name: str, attrs: dict[str, object]) -> None:
         self._name = name
         self._attrs = attrs
         self._token = None
         self._record: SpanRecord | None = None
+        self._owns = True
 
     def __enter__(self) -> SpanRecord:
         state = _config._STATE
-        trace_id = new_trace_id()
+        enclosing = tracing.current_trace_id()
+        self._owns = enclosing is None
+        trace_id = new_trace_id() if self._owns else enclosing
         self._token = tracing.bind_trace_id(trace_id)
-        state.tracer.watch(trace_id)
+        if self._owns:
+            state.tracer.watch(trace_id)
         self._record = state.tracer.start(self._name, self._attrs)
         return self._record
 
@@ -200,8 +210,12 @@ class _RequestContext:
             state.tracer.unwind_to(record)
         else:
             state.tracer.finish(record)
-        spans = state.tracer.unwatch(record.trace_id)
         tracing.unbind_trace_id(self._token)
+        if not self._owns:
+            # A joined (nested) request leaves the watch buffer and the
+            # exemplar offer to the context that allocated the trace.
+            return False
+        spans = state.tracer.unwatch(record.trace_id)
         error = record.attrs.get("error")
         state.exemplars.offer(Exemplar(
             trace_id=record.trace_id, name=record.name,
@@ -220,7 +234,9 @@ def request(name: str, **attrs: object) -> _RequestContext | _NoopContext:
     propagates it to everything recorded inside (spans, :func:`event`
     lines, histogram/quantile exemplars), and offers the request's full
     span tree to the exemplar reservoir on exit. The yielded span's
-    ``trace_id`` attribute is the allocated ID. No-op when disabled.
+    ``trace_id`` attribute is the allocated ID. A ``request`` opened
+    inside another request joins the enclosing trace (same ID, one
+    reservoir offer by the outermost context). No-op when disabled.
     """
     if not _config._STATE.enabled:
         return NOOP_CONTEXT
@@ -279,25 +295,36 @@ def gauge(name: str, value: float, **labels: str) -> None:
         state.registry.gauge(name, **labels).set(value)
 
 
-def observe(name: str, value: float, **labels: str) -> None:
-    """Record *value* into the histogram *name* (+labels); no-op when off."""
+def observe(name: str, value: float, *, trace_id: str | None = None,
+            **labels: str) -> None:
+    """Record *value* into the histogram *name* (+labels); no-op when off.
+
+    ``trace_id`` pins the max-observation exemplar to a specific request
+    instead of the ambient context — needed when the sample (e.g. a
+    request span's ``duration``) is only known *after* the request
+    context has exited and unbound the ambient ID.
+    """
     state = _config._STATE
     if state.enabled:
-        state.registry.histogram(name, **labels).observe(value)
+        state.registry.histogram(name, **labels).observe(
+            value, trace_id=trace_id)
 
 
-def observe_quantile(name: str, value: float, **labels: str) -> None:
+def observe_quantile(name: str, value: float, *,
+                     trace_id: str | None = None, **labels: str) -> None:
     """Record *value* into the streaming-quantile family *name* (+labels).
 
     The P² sketch behind each child keeps p50/p90/p99 estimates in O(1)
     memory (see :mod:`repro.obs.quantiles`); no-op when observability is
     off. Latency call sites record into both a bucket histogram (for
     Prometheus-style aggregation) and a quantile family (for exact-ish
-    tail percentiles in run snapshots and SLO checks).
+    tail percentiles in run snapshots and SLO checks). ``trace_id`` pins
+    the exemplar to a specific request (see :func:`observe`).
     """
     state = _config._STATE
     if state.enabled:
-        state.registry.quantile(name, **labels).observe(value)
+        state.registry.quantile(name, **labels).observe(
+            value, trace_id=trace_id)
 
 
 def profile(stage: str, top_n: int = 5, **attrs: object):

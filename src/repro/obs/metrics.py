@@ -8,11 +8,19 @@ any layer of the library without cycles.
 
 Metric names are dotted (``nprec.train.grad_steps``); the Prometheus
 renderer in :mod:`repro.obs.emitters` maps dots to underscores.
+
+Thread-safe: serving and load-generator worker threads update metrics
+concurrently, so get-or-create in the registry holds a registry lock and
+every child metric serialises its own read-modify-write updates (counter
+increments, P² marker adjustments, histogram buckets) behind a per-child
+lock. Snapshots take the same locks, so a capture written mid-run is
+internally consistent per child.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Iterator
 
 from repro.obs.quantiles import DEFAULT_QUANTILES, Quantile
@@ -36,18 +44,20 @@ class Counter:
     """Monotonically increasing count (e.g. gradient steps, dropped pairs)."""
 
     kind = "counter"
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
         self.name = name
         self.labels = dict(labels or {})
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add *amount* (must be >= 0) to the running total."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict[str, object]:
         """JSON-ready state of this child metric."""
@@ -58,20 +68,23 @@ class Gauge:
     """Point-in-time value that can move both ways (e.g. node counts)."""
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
         self.name = name
         self.labels = dict(labels or {})
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the current value."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Shift the current value by *amount* (may be negative)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict[str, object]:
         """JSON-ready state of this child metric."""
@@ -88,7 +101,7 @@ class Histogram:
 
     kind = "histogram"
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
-                 "sum", "min", "max", "exemplar")
+                 "sum", "min", "max", "exemplar", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str] | None = None,
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
@@ -106,21 +119,29 @@ class Histogram:
         #: inside a request context — joins the p99 tail back to one
         #: concrete request's span tree in the same capture.
         self.exemplar: dict[str, object] | None = None
+        self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one sample."""
+    def observe(self, value: float, *, trace_id: str | None = None) -> None:
+        """Record one sample.
+
+        ``trace_id`` overrides the ambient request context for the
+        max-observation exemplar — call sites that record a request
+        span's duration *after* its context has exited (and unbound the
+        ambient ID) pass the span's own ``trace_id`` here.
+        """
         value = float(value)
-        self.count += 1
-        self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        if value >= self.max:
-            trace_id = current_trace_id()
-            if trace_id is not None:
-                self.exemplar = {"trace_id": trace_id, "value": value}
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            if value >= self.max:
+                self.max = value
+                tid = trace_id if trace_id is not None else current_trace_id()
+                if tid is not None:
+                    self.exemplar = {"trace_id": tid, "value": value}
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
 
     @property
     def mean(self) -> float:
@@ -129,17 +150,18 @@ class Histogram:
 
     def snapshot(self) -> dict[str, object]:
         """JSON-ready state of this child metric."""
-        snap: dict[str, object] = {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "buckets": [list(pair) for pair in zip(self.buckets,
-                                                   self.bucket_counts)],
-        }
-        if self.exemplar is not None:
-            snap["exemplar"] = dict(self.exemplar)
-        return snap
+        with self._lock:
+            snap: dict[str, object] = {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "buckets": [list(pair) for pair in zip(self.buckets,
+                                                       self.bucket_counts)],
+            }
+            if self.exemplar is not None:
+                snap["exemplar"] = dict(self.exemplar)
+            return snap
 
 
 #: Any concrete metric child.
@@ -167,25 +189,31 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        # Guards family/child get-or-create and structural reads: two
+        # threads racing the first observation of one (name, labels)
+        # must receive the *same* child, never two (one of which would
+        # silently swallow a thread's observations).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _child(self, kind: str, name: str, labels: dict[str, str],
                factory) -> Metric:
-        family = self._families.get(name)
-        if family is None:
-            family = _Family(name, kind)
-            self._families[name] = family
-        elif family.kind != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as a {family.kind}, "
-                f"cannot re-register as a {kind}"
-            )
-        key = _label_key(labels)
-        child = family.children.get(key)
-        if child is None:
-            child = factory()
-            family.children[key] = child
-        return child
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family.kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = factory()
+                family.children[key] = child
+            return child
 
     def counter(self, name: str, **labels: str) -> Counter:
         """Get or create the counter child for *name* + *labels*."""
@@ -213,17 +241,19 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def get(self, name: str, **labels: str) -> Metric | None:
         """Look up an existing child without creating it."""
-        family = self._families.get(name)
-        if family is None:
-            return None
-        return family.children.get(_label_key(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            return family.children.get(_label_key(labels))
 
     def family(self, name: str) -> list[Metric]:
         """Every child of family *name* (empty when unregistered)."""
-        family = self._families.get(name)
-        if family is None:
-            return []
-        return [family.children[key] for key in sorted(family.children)]
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return []
+            return [family.children[key] for key in sorted(family.children)]
 
     def family_total(self, name: str) -> float:
         """Sum of a counter/gauge family's values across all label sets.
@@ -244,10 +274,13 @@ class MetricsRegistry:
 
     def collect(self) -> Iterator[Metric]:
         """All children, grouped by family, families in name order."""
-        for name in sorted(self._families):
-            family = self._families[name]
-            for key in sorted(family.children):
-                yield family.children[key]
+        # Materialised under the lock so iteration never races a
+        # concurrent registration (dict-changed-during-iteration).
+        with self._lock:
+            children = [self._families[name].children[key]
+                        for name in sorted(self._families)
+                        for key in sorted(self._families[name].children)]
+        yield from children
 
     def snapshot(self) -> list[dict[str, object]]:
         """JSON-ready dump of every child metric."""
@@ -259,7 +292,9 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every family (used between captured runs)."""
-        self._families.clear()
+        with self._lock:
+            self._families.clear()
 
     def __len__(self) -> int:
-        return sum(len(f.children) for f in self._families.values())
+        with self._lock:
+            return sum(len(f.children) for f in self._families.values())

@@ -17,6 +17,7 @@ first-class metric family (rendered as a Prometheus *summary*).
 from __future__ import annotations
 
 import math
+import threading
 
 from repro.obs.tracing import current_trace_id
 
@@ -135,7 +136,7 @@ class Quantile:
 
     kind = "quantile"
     __slots__ = ("name", "labels", "quantiles", "count", "sum", "min",
-                 "max", "exemplar", "_estimators")
+                 "max", "exemplar", "_estimators", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str] | None = None,
                  quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> None:
@@ -155,20 +156,29 @@ class Quantile:
         #: inside a request context (see :class:`Histogram.exemplar`).
         self.exemplar: dict[str, object] | None = None
         self._estimators = [P2Quantile(q) for q in self.quantiles]
+        # Serialises concurrent observations: the P² marker arrays are
+        # multi-step read-modify-write and would corrupt under races.
+        self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one sample into every tracked quantile."""
+    def observe(self, value: float, *, trace_id: str | None = None) -> None:
+        """Record one sample into every tracked quantile.
+
+        ``trace_id`` overrides the ambient request context for the
+        max-observation exemplar (see
+        :meth:`repro.obs.metrics.Histogram.observe`).
+        """
         value = float(value)
-        self.count += 1
-        self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        if value >= self.max:
-            trace_id = current_trace_id()
-            if trace_id is not None:
-                self.exemplar = {"trace_id": trace_id, "value": value}
-        for estimator in self._estimators:
-            estimator.observe(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            if value >= self.max:
+                self.max = value
+                tid = trace_id if trace_id is not None else current_trace_id()
+                if tid is not None:
+                    self.exemplar = {"trace_id": tid, "value": value}
+            for estimator in self._estimators:
+                estimator.observe(value)
 
     def estimate(self, q: float) -> float | None:
         """Current estimate for tracked quantile *q* (``None`` when empty)."""
@@ -189,14 +199,15 @@ class Quantile:
 
     def snapshot(self) -> dict[str, object]:
         """JSON-ready state of this child metric."""
-        snap: dict[str, object] = {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "quantiles": {format(q, "g"): est
-                          for q, est in self.estimates().items()},
-        }
-        if self.exemplar is not None:
-            snap["exemplar"] = dict(self.exemplar)
-        return snap
+        with self._lock:
+            snap: dict[str, object] = {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "quantiles": {format(e.q, "g"): e.estimate
+                              for e in self._estimators},
+            }
+            if self.exemplar is not None:
+                snap["exemplar"] = dict(self.exemplar)
+            return snap

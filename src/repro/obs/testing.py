@@ -10,9 +10,17 @@ module; this is the one shared implementation.
 
 from __future__ import annotations
 
+import threading
+
 
 class FakeClock:
     """A manually-advanced monotonic clock.
+
+    Thread-safe, because the code it stands in for is threaded: loadgen
+    worker threads read the clock while the coordinator advances it
+    (``advance`` doubles as the injectable ``sleep`` of
+    :class:`repro.loadgen.runner.LoadRunner`, keeping pacing and timing
+    on one time source).
 
     Parameters
     ----------
@@ -30,15 +38,18 @@ class FakeClock:
         self.now = float(start)
         self.tick = float(tick)
         self.calls = 0
+        self._lock = threading.Lock()
 
     def __call__(self) -> float:
-        self.calls += 1
-        reading = self.now
-        self.now += self.tick
-        return reading
+        with self._lock:
+            self.calls += 1
+            reading = self.now
+            self.now += self.tick
+            return reading
 
     def advance(self, seconds: float) -> None:
         """Move the clock forward by *seconds* (must be >= 0)."""
         if seconds < 0:
             raise ValueError(f"cannot advance by {seconds} (negative)")
-        self.now += seconds
+        with self._lock:
+            self.now += seconds

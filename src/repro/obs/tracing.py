@@ -136,6 +136,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._counter = 0
+        #: Spans started but not yet finished, across *all* threads —
+        #: the per-thread stacks are thread-local, so reset() needs this
+        #: global count to refuse while any thread is mid-span.
+        self._open_total = 0
         #: name -> [calls, total, min, max], survives span eviction.
         self._agg: dict[str, list[float]] = {}
         #: trace_id -> finished spans, for traces someone is watching
@@ -156,6 +160,7 @@ class Tracer:
         with self._lock:
             index = self._counter
             self._counter += 1
+            self._open_total += 1
         record = SpanRecord(
             name=name,
             start=time.perf_counter() - self._epoch_perf,
@@ -180,6 +185,7 @@ class Tracer:
         stack.pop()
         record.duration = time.perf_counter() - self._epoch_perf - record.start
         with self._lock:
+            self._open_total -= 1
             self.spans.append(record)
             if (self.max_spans is not None
                     and len(self.spans) > self.max_spans):
@@ -260,11 +266,17 @@ class Tracer:
             }
 
     def reset(self) -> None:
-        """Drop all finished spans and restart the epoch."""
-        if self._stack:
-            raise RuntimeError(
-                f"cannot reset tracer with {len(self._stack)} open span(s)")
+        """Drop all finished spans and restart the epoch.
+
+        Refuses while *any* thread — not just the caller's — has open
+        spans: those would otherwise finish into the cleared list with
+        stale parent indexes and the new epoch, corrupting the capture.
+        """
         with self._lock:
+            if self._open_total:
+                raise RuntimeError(
+                    f"cannot reset tracer with {self._open_total} "
+                    "open span(s)")
             self.spans.clear()
             self._agg.clear()
             self._watched.clear()

@@ -226,7 +226,8 @@ class ServingIndex:
                     obs.count("serve.papers_ingested", mode="degraded")
                     self._invalidate()
                     position = self._positions[paper.id]
-            self._observe_latency("serve.ingest", span.duration)
+            self._observe_latency("serve.ingest", span.duration,
+                                  trace_id=span.trace_id)
             return position
 
         rec = self._recommender
@@ -252,21 +253,28 @@ class ServingIndex:
                 self._append(paper, row)
                 self._invalidate()
                 position = self._positions[paper.id]
-        self._observe_latency("serve.ingest", span.duration)
+        self._observe_latency("serve.ingest", span.duration,
+                              trace_id=span.trace_id)
         return position
 
     @staticmethod
-    def _observe_latency(name: str, seconds: float, **labels: str) -> None:
+    def _observe_latency(name: str, seconds: float,
+                         trace_id: str | None = None, **labels: str) -> None:
         """Record one latency sample into histogram + quantile families.
 
         ``<name>.duration_seconds`` keeps the fixed Prometheus buckets;
         ``<name>.latency`` feeds the P² sketch whose p50/p90/p99 back the
         serving SLOs (:func:`repro.obs.slo.default_serving_slos`) and the
         run-snapshot regression gate. Labels (e.g. ``cache=hit|miss``)
-        apply to both twins. Both are no-ops when obs is off.
+        apply to both twins. ``trace_id`` is the request the sample
+        belongs to — ``span.duration`` is only set once the request
+        context exits (unbinding the ambient ID), so the exemplar ID
+        must be passed explicitly. Both are no-ops when obs is off.
         """
-        obs.observe(f"{name}.duration_seconds", seconds, **labels)
-        obs.observe_quantile(f"{name}.latency", seconds, **labels)
+        obs.observe(f"{name}.duration_seconds", seconds,
+                    trace_id=trace_id, **labels)
+        obs.observe_quantile(f"{name}.latency", seconds,
+                             trace_id=trace_id, **labels)
 
     def _prepare_ingest(self, paper: Paper) -> tuple:
         """The fallible, side-effect-free half of ingestion, retried.
@@ -414,7 +422,8 @@ class ServingIndex:
             span.set("cache", outcome)
         # Split by cache outcome: hit-path latency is microseconds and
         # would otherwise mask the miss-path tail in the merged p99.
-        self._observe_latency("serve.query", span.duration, cache=outcome)
+        self._observe_latency("serve.query", span.duration,
+                              trace_id=span.trace_id, cache=outcome)
         return result
 
     def _query(self, user_papers: list[Paper],

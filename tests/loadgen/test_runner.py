@@ -96,6 +96,28 @@ class TestClosedLoop:
         for exemplar in exemplars:
             assert exemplar.trace_id in span_ids
 
+    def test_latency_exemplars_join_to_capture(self, degraded_index,
+                                               template_papers, obs_enabled,
+                                               tmp_path):
+        # The p99-tail-to-span-tree join on the *real* serving paths:
+        # every latency child touched by the run carries a trace-id
+        # exemplar, and each of those ids resolves to span lines in the
+        # same JSONL capture.
+        schedule = make_schedule(template_papers)
+        LoadRunner(degraded_index, schedule).run()
+        path = tmp_path / "load.jsonl"
+        obs.write_jsonl(path)
+        lines = [json.loads(line) for line in
+                 path.read_text().strip().splitlines()]
+        span_ids = {l["trace_id"] for l in lines if l.get("type") == "span"}
+        registry = obs.get_registry()
+        for family in ("loadgen.request.latency", "serve.query.latency"):
+            children = registry.family(family)
+            assert children, f"no children recorded for {family}"
+            for child in children:
+                assert child.exemplar is not None, (family, child.labels)
+                assert child.exemplar["trace_id"] in span_ids
+
     def test_probe_requests_degrade_and_emit_events(
             self, degraded_index, template_papers, obs_enabled):
         schedule = make_schedule(
@@ -128,6 +150,37 @@ class TestOpenLoop:
         assert summary.mode == "open"
         # An open loop cannot finish before its last scheduled arrival.
         assert summary.duration >= schedule.requests[-1].arrival
+
+    def test_open_loop_paces_on_the_injected_clock(self, degraded_index,
+                                                   template_papers,
+                                                   obs_enabled):
+        from repro.obs.testing import FakeClock
+
+        # Arrival delays are computed on the injected clock, so sleeping
+        # must happen on the same time source: with FakeClock.advance as
+        # the sleep, the run spans exactly the scheduled arrivals on the
+        # fake clock — a wall-clock sleep would leave it stuck at zero.
+        schedule = make_schedule(template_papers, n=12, mode="open",
+                                 qps=50.0)
+        clock = FakeClock()
+        runner = LoadRunner(degraded_index, schedule, clock=clock,
+                            sleep=clock.advance)
+        summary = runner.run()
+        assert summary.completed == 12
+        assert summary.duration >= schedule.requests[-1].arrival
+
+    def test_slos_sampled_while_draining(self, degraded_index,
+                                         template_papers, obs_enabled):
+        # One submission can contribute at most one in-loop sample, and
+        # the post-run sample adds one more; anything beyond two proves
+        # the drain loop kept polling while the in-flight tail finished.
+        schedule = make_schedule(template_papers, n=1, mode="open",
+                                 qps=1000.0,
+                                 mix=WorkloadMix(query=1, ingest=0, probe=0))
+        runner = LoadRunner(degraded_index, schedule, slo_interval=0.0)
+        summary = runner.run()
+        assert summary.completed == 1
+        assert summary.slo_checks >= 3
 
 
 class TestReport:

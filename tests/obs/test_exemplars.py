@@ -100,6 +100,36 @@ class TestRequestContext:
         assert exemplar.error == "RuntimeError"
         assert exemplar.reason == "error"
 
+    def test_nested_request_joins_enclosing_trace(self, obs_enabled):
+        # A serve.query request opened under a loadgen.request must not
+        # allocate a second trace: one ID, one reservoir offer (by the
+        # outermost context), one coherent span tree.
+        with obs.request("loadgen.request") as outer:
+            with obs.request("serve.query") as inner:
+                assert obs.current_trace_id() == outer.trace_id
+        assert inner.trace_id == outer.trace_id
+        assert obs.current_trace_id() is None
+        [exemplar] = obs.get_exemplars().slowest()
+        assert exemplar.name == "loadgen.request"
+        assert {s["name"] for s in exemplar.spans} == {"loadgen.request",
+                                                       "serve.query"}
+        assert all(s["trace_id"] == outer.trace_id for s in exemplar.spans)
+
+    def test_metric_exemplar_attaches_after_request_exit(self, obs_enabled):
+        # Latency call sites record span.duration only after the request
+        # context exits (which unbinds the ambient ID) — the explicit
+        # trace_id keeps the p99-tail-to-span-tree join alive.
+        with obs.request("r") as span:
+            pass
+        assert obs.current_trace_id() is None
+        obs.observe("late.duration_seconds", 0.5, trace_id=span.trace_id)
+        obs.observe_quantile("late.latency", 0.5, trace_id=span.trace_id)
+        registry = obs.get_registry()
+        for name in ("late.duration_seconds", "late.latency"):
+            child = registry.get(name)
+            assert child.exemplar == {"trace_id": span.trace_id,
+                                      "value": 0.5}
+
     def test_metric_exemplar_carries_trace_id(self, obs_enabled):
         with obs.request("r") as span:
             obs.observe("lat.duration_seconds", 0.5)

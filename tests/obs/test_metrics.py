@@ -1,5 +1,7 @@
 """Unit tests for the metric primitives and the registry."""
 
+import threading
+
 import pytest
 
 from repro.obs.metrics import (
@@ -108,3 +110,35 @@ class TestMetricsRegistry:
         reg.reset()
         assert len(reg) == 0
         assert reg.get("a") is None
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_lose_nothing(self):
+        # Loadgen worker threads hammer the same children: the
+        # get-or-create race must hand every thread the same child, and
+        # no counter increment / histogram bucket / P² marker update may
+        # be lost to an unsynchronised read-modify-write.
+        reg = MetricsRegistry()
+        n_threads, n_iter = 8, 400
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(n_iter):
+                reg.counter("ts.count").inc()
+                reg.histogram("ts.hist").observe(0.01)
+                reg.quantile("ts.lat").observe(0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = n_threads * n_iter
+        assert len(reg) == 3  # one child per (name, labels), not two
+        assert reg.counter("ts.count").value == total
+        assert reg.histogram("ts.hist").count == total
+        assert reg.histogram("ts.hist").bucket_counts[-1] == total
+        quantile = reg.quantile("ts.lat")
+        assert quantile.count == total
+        assert quantile.estimate(0.5) == pytest.approx(0.01)

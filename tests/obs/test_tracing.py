@@ -1,5 +1,6 @@
 """Tests for span tracing and the disabled-mode no-op fast path."""
 
+import threading
 import time
 
 import pytest
@@ -135,6 +136,30 @@ class TestTracerInvariants:
         tracer.start("open")
         with pytest.raises(RuntimeError, match="open span"):
             tracer.reset()
+
+    def test_reset_with_open_span_on_another_thread_rejected(self):
+        # The span stacks are thread-local; reset must still see spans
+        # held open by *other* threads, or they would later finish into
+        # the cleared list with stale parent indexes and a new epoch.
+        tracer = Tracer()
+        opened = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            record = tracer.start("other-thread")
+            opened.set()
+            release.wait(timeout=5)
+            tracer.finish(record)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert opened.wait(timeout=5)
+        with pytest.raises(RuntimeError, match="open span"):
+            tracer.reset()
+        release.set()
+        thread.join(timeout=5)
+        tracer.reset()  # balanced again once the worker finished
+        assert tracer.spans == []
 
     def test_reset_clears_and_restarts_indices(self):
         tracer = Tracer()
