@@ -11,9 +11,10 @@ duration aggregates. Two snapshots are comparable field by field:
   gate.
 
 What gates: a metric key's direction is classified from its name.
-Latency/duration/memory keys and failure-ish counters (degraded,
-dropped, faults, guard trips, ...) regress upward; accuracy/agreement
-regress downward; everything else (structural gauges, throughput
+Latency/duration/memory keys, ANN scan fractions, and failure-ish
+counters (degraded, dropped, faults, guard trips, ...) regress upward;
+accuracy/agreement/recall@K regress downward — the ANN recall gate
+rides on this; everything else (structural gauges, throughput
 counters whose "good" direction is ambiguous) is compared in ``diff``
 but never fails ``check``. Timing keys get their own (far looser)
 tolerance since wall-clock varies across machines; counter/gauge keys
@@ -42,8 +43,8 @@ SCHEMA_VERSION = 1
 _LOWER_IS_BETTER = re.compile(
     r"latency|duration|seconds|alloc|degraded|dropped|skipped|underfilled|"
     r"failures|faults|guard\.trips|retries_exhausted|corrupt|rollbacks|"
-    r"errors|error_rate")
-_HIGHER_IS_BETTER = re.compile(r"accuracy|agreement")
+    r"errors|error_rate|scan_fraction")
+_HIGHER_IS_BETTER = re.compile(r"accuracy|agreement|recall")
 #: Subset of lower-is-better keys that measure wall-clock or memory and
 #: therefore gate with the looser tolerance.
 _TIMING = re.compile(r"latency|duration|seconds|alloc")

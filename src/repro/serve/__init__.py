@@ -22,15 +22,26 @@ Guarantees:
   under the ``serve.degraded`` obs counter; artifact loads are retried
   (:mod:`repro.resilience.retry`) before degradation kicks in, and
   :meth:`ServingIndex.health` re-verifies checksums, probes the
-  fallback, and self-heals rebuildable state in place.
+  fallback, and self-heals rebuildable state in place;
+* retrieval scales past brute force — ``ServingIndex(index="ivf")``
+  probes a pure-numpy IVF coarse quantizer (:mod:`repro.serve.ann`)
+  instead of scoring the whole pool, with measured recall@K against
+  the exact oracle gated in CI, and the clustered quantizer persists
+  inside the artifact (:func:`save_ann_index`) so serving startup
+  never re-clusters.
 
-CLI: ``python -m repro.serve warmup|query|smoke|health``.
+CLI: ``python -m repro.serve warmup|query|smoke|health|loadtest``.
 """
 
+from repro.serve.ann import IVFIndex, ProbeStats, exact_top_k, pooled_scores
 from repro.serve.artifacts import (
     SCHEMA_VERSION,
+    has_ann_index,
+    load_ann_index,
     load_author_affiliations,
     load_pipeline,
+    pool_fingerprint,
+    save_ann_index,
     save_pipeline,
 )
 from repro.serve.index import ServingIndex
@@ -38,5 +49,7 @@ from repro.serve.index import ServingIndex
 __all__ = [
     "SCHEMA_VERSION",
     "save_pipeline", "load_pipeline", "load_author_affiliations",
+    "save_ann_index", "load_ann_index", "has_ann_index", "pool_fingerprint",
+    "IVFIndex", "ProbeStats", "exact_top_k", "pooled_scores",
     "ServingIndex",
 ]

@@ -43,7 +43,8 @@ from repro.core.nprec import NPRecConfig, NPRecRecommender
 from repro.core.sem import SEMConfig
 from repro.data import load_acm
 from repro.experiments.protocol import RecommendationTask, split_task_by_year
-from repro.serve.artifacts import load_pipeline, save_pipeline
+from repro.serve.artifacts import (load_pipeline, save_ann_index,
+                                   save_pipeline)
 from repro.serve.index import ServingIndex
 
 
@@ -60,6 +61,24 @@ def _build_task(scale: float, seed: int, split_year: int,
                               candidate_size=50, seed=seed)
 
 
+def _index_kwargs(args: argparse.Namespace) -> dict:
+    """Retrieval-strategy kwargs shared by every index-building command."""
+    return {"index": args.index, "nprobe": args.nprobe,
+            "n_lists": args.n_lists}
+
+
+def _add_index_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--index", choices=("exact", "ivf"), default="exact",
+                        help="retrieval strategy: exact blockwise scan "
+                             "(default, the oracle) or approximate IVF")
+    parser.add_argument("--nprobe", type=int, default=8,
+                        help="IVF lists probed per query (clamped to the "
+                             "list count; == list count reproduces exact)")
+    parser.add_argument("--n-lists", type=int, default=None,
+                        help="IVF coarse-cluster count "
+                             "(default: round(sqrt(pool)))")
+
+
 def cmd_warmup(args: argparse.Namespace) -> int:
     task = _build_task(args.scale, args.seed, args.split_year, args.users)
     recommender = NPRecRecommender(_fit_config(args.seed))
@@ -73,6 +92,16 @@ def cmd_warmup(args: argparse.Namespace) -> int:
                              "users": args.users,
                          })
     print(f"artifact written to {path}")
+    if args.index == "ivf":
+        # Cluster the evaluation pool once, offline, and persist the
+        # quantizer into the artifact — `query`/`loadtest --index ivf`
+        # adopt it by pool fingerprint and never re-cluster at startup.
+        index = ServingIndex.from_artifact(str(path), papers=task.new_papers,
+                                           **_index_kwargs(args))
+        ivf = index.build_ann_index()
+        save_ann_index(path, ivf, index.paper_ids)
+        print(f"IVF quantizer ({ivf.num_lists} lists over "
+              f"{ivf.num_rows} papers) persisted to {path / 'ann'}")
     return 0
 
 
@@ -89,7 +118,8 @@ def _reload_task(directory: str) -> RecommendationTask:
 
 def cmd_query(args: argparse.Namespace) -> int:
     task = _reload_task(args.dir)
-    index = ServingIndex.from_artifact(args.dir, papers=task.new_papers)
+    index = ServingIndex.from_artifact(args.dir, papers=task.new_papers,
+                                       **_index_kwargs(args))
     if index.degraded:
         print("WARNING: artifact unusable, serving degraded TF-IDF results",
               file=sys.stderr)
@@ -103,8 +133,10 @@ def cmd_query(args: argparse.Namespace) -> int:
     else:
         user = task.users[0]
     top = index.top_k(list(user.train_papers), k=args.k)
+    strategy = (f"ivf, nprobe={index.nprobe}" if args.index == "ivf"
+                else "exact")
     print(f"top-{args.k} for user {user.author_id} "
-          f"(pool of {index.num_papers} papers):")
+          f"(pool of {index.num_papers} papers, {strategy}):")
     for rank, pid in enumerate(top, start=1):
         marker = "*" if pid in user.relevant_ids else " "
         print(f"  {rank:2d}. {marker} {pid}")
@@ -200,7 +232,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"loading artifact from {directory} ...", file=sys.stderr)
         task = _reload_task(str(directory))
         index = ServingIndex.from_artifact(str(directory),
-                                           papers=task.new_papers)
+                                           papers=task.new_papers,
+                                           **_index_kwargs(args))
     else:
         print(f"no artifact at {directory}; fitting one "
               f"(scale={args.scale}, seed={args.seed}) ...", file=sys.stderr)
@@ -214,7 +247,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                           "users": args.users,
                       })
         index = ServingIndex.from_artifact(str(directory),
-                                           papers=task.new_papers)
+                                           papers=task.new_papers,
+                                           **_index_kwargs(args))
     if index.degraded:
         print("WARNING: index is degraded; load run exercises the "
               "TF-IDF fallback only", file=sys.stderr)
@@ -241,6 +275,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     meta = {"seed": args.seed, "mode": args.mode,
             "concurrency": args.concurrency, "requests": args.requests,
             "k": args.k, "target_qps": args.qps,
+            "index": args.index, "nprobe": args.nprobe,
             "schedule_sha256": schedule.sha256()}
     report = build_report(schedule, summary, runner.telemetry,
                           registry=obs.get_registry(), meta=meta)
@@ -280,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
     warmup.add_argument("--seed", type=int, default=0)
     warmup.add_argument("--split-year", type=int, default=2014)
     warmup.add_argument("--users", type=int, default=12)
+    _add_index_args(warmup)
     warmup.set_defaults(fn=cmd_warmup)
 
     query = sub.add_parser("query", help="top-K from a saved artifact")
@@ -287,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("--user", default=None,
                        help="author id (defaults to the first test user)")
     query.add_argument("-k", type=int, default=10)
+    _add_index_args(query)
     query.set_defaults(fn=cmd_query)
 
     smoke = sub.add_parser("smoke",
@@ -332,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
     loadtest.add_argument("--run-id", default="serve_load",
                           help="run-registry snapshot id (fixed so CI can "
                                "gate against the committed baseline)")
+    _add_index_args(loadtest)
     loadtest.set_defaults(fn=cmd_loadtest)
 
     args = parser.parse_args(argv)

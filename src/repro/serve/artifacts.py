@@ -17,6 +17,8 @@ An artifact is a directory::
     model/field_rng.json     neighbourhood-sampler RNG state
     profile_text/meta.json|weights.npz
                              JTIE profile-text module (only when trained)
+    ann/ivf.npz|.json        IVF coarse quantizer over a serving pool
+                             (only when saved via save_ann_index)
 
 Everything that decides a ranking is persisted **exactly** — float64
 arrays through ``.npz``, graph adjacency in insertion order, the sampled
@@ -62,7 +64,10 @@ from repro.text.sequence_labeler import SequenceLabeler
 
 #: Version of the on-disk layout. Bump on any incompatible change; load
 #: refuses mismatched versions with :class:`SchemaVersionError`.
-SCHEMA_VERSION = 1
+#: v2: manifests may cover an optional ``ann/`` quantizer directory and
+#: carry its pool fingerprint — v1 artifacts must be re-saved (they
+#: were only ever produced by ephemeral warmup runs, never shipped).
+SCHEMA_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 
@@ -360,6 +365,111 @@ def load_author_affiliations(directory: str | os.PathLike) -> dict[str, str]:
     """The ``author id -> affiliation`` map stored in an artifact."""
     payload = _read_json(Path(directory) / "papers.json")
     return dict(payload.get("author_affiliations", {}))
+
+
+# ----------------------------------------------------------------------
+# ANN quantizer persistence
+# ----------------------------------------------------------------------
+def pool_fingerprint(paper_ids: "list[str] | tuple[str, ...]") -> str:
+    """SHA-256 of the ordered pool ids an ANN index was built over.
+
+    Inverted-list entries are pool *positions*, so an adopted quantizer
+    is only valid for the exact id sequence it saw at cluster time.
+    """
+    digest = hashlib.sha256()
+    for paper_id in paper_ids:
+        digest.update(paper_id.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def save_ann_index(directory: str | os.PathLike, ivf,
+                   paper_ids: "list[str] | tuple[str, ...]") -> Path:
+    """Persist a fitted IVF quantizer inside an existing artifact.
+
+    Writes ``ann/ivf.npz`` (centroids + row assignments) and
+    ``ann/ivf.json`` (construction parameters plus the
+    :func:`pool_fingerprint` of *paper_ids*), then refreshes the
+    artifact manifest so both files are sha256-verified like every
+    other payload. The artifact must already exist (``save_pipeline``
+    first) — the quantizer indexes a serving pool, not a bare model.
+
+    Raises :class:`~repro.errors.NotFittedError` for an unfitted index
+    and :class:`~repro.errors.ArtifactError` when *directory* is not an
+    artifact.
+    """
+    from repro.serve.ann import IVFIndex
+
+    if not isinstance(ivf, IVFIndex) or not ivf.fitted:
+        raise NotFittedError("save_ann_index needs a fitted IVFIndex")
+    if ivf.num_rows != len(paper_ids):
+        raise ArtifactError(
+            f"quantizer covers {ivf.num_rows} rows but the pool has "
+            f"{len(paper_ids)} papers — cluster the pool you serve")
+    root = Path(directory)
+    if not (root / MANIFEST_NAME).is_file():
+        raise ArtifactError(f"no {MANIFEST_NAME} in {root}: save_pipeline "
+                            "before save_ann_index")
+    with obs.trace("serve.save_ann_index", directory=str(root)):
+        _save_npz(root / "ann" / "ivf.npz", ivf.to_arrays())
+        meta = ivf.meta()
+        meta["pool_sha256"] = pool_fingerprint(paper_ids)
+        _write_json(root / "ann" / "ivf.json", meta)
+        _refresh_manifest(root)
+        obs.count("serve.ann.artifact_saved")
+    return root / "ann"
+
+
+def load_ann_index(directory: str | os.PathLike):
+    """Reload ``(IVFIndex, meta)`` saved by :func:`save_ann_index`.
+
+    Raises :class:`~repro.errors.ArtifactError` when the artifact holds
+    no quantizer or the payload cannot be deserialised. Callers decide
+    what a stale fingerprint means (serving refits lazily).
+    """
+    from repro.serve.ann import IVFIndex
+
+    root = Path(directory)
+    meta_path = root / "ann" / "ivf.json"
+    if not meta_path.is_file():
+        raise ArtifactError(f"artifact at {root} holds no ANN quantizer "
+                            "(run save_ann_index / warmup --index ivf)")
+    try:
+        meta = _read_json(meta_path)
+        arrays = _load_npz(root / "ann" / "ivf.npz")
+        index = IVFIndex.from_arrays(arrays, meta)
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, ValueError,
+            OSError) as exc:
+        raise ArtifactError(
+            f"ANN quantizer at {root / 'ann'} could not be deserialised: "
+            f"{exc}") from exc
+    obs.count("serve.ann.artifact_loaded")
+    return index, meta
+
+
+def has_ann_index(directory: str | os.PathLike) -> bool:
+    """Whether the artifact carries a persisted ANN quantizer."""
+    return (Path(directory) / "ann" / "ivf.json").is_file()
+
+
+def _refresh_manifest(root: Path) -> None:
+    """Re-walk the artifact and rewrite the manifest's file checksums.
+
+    Used after adding optional payloads (the ANN quantizer) to an
+    already-saved artifact so the whole directory stays covered by the
+    integrity check.
+    """
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no {MANIFEST_NAME} in {root} — not an "
+                            "artifact directory")
+    manifest = _read_json(manifest_path)
+    files = sorted(
+        str(p.relative_to(root)).replace(os.sep, "/")
+        for p in root.rglob("*")
+        if p.is_file() and p.name != MANIFEST_NAME)
+    manifest["files"] = {rel: _sha256(root / rel) for rel in files}
+    _write_json(manifest_path, manifest)
 
 
 def _rebuild(root: Path, manifest: dict) -> NPRecRecommender:

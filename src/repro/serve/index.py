@@ -16,9 +16,22 @@ without the per-query correlation-spread multiplier), and the
 profile-text blend is omitted (it requires a full re-rank per query,
 which contradicts blockwise retrieval).
 
+Retrieval is a pluggable strategy: ``index="exact"`` (the default, and
+the correctness oracle) scores every pool row blockwise;
+``index="ivf"`` routes queries through a pure-numpy IVF coarse
+quantizer (:mod:`repro.serve.ann`) that exact-scores only the
+``nprobe`` most promising inverted lists — same score function, same
+tie-breaking, a measured recall@K trade documented in
+``BENCH_ann.json`` and gated in CI. Probing every list reproduces the
+exact ranking order-for-order.
+
 New papers enter through :meth:`ServingIndex.add_paper` — the Sec. IV-E
 cold-start path at serving time: SEM subspace embedding, metadata-only
 graph attachment, embedding imputation from neighbours. No retraining.
+Under ``index="ivf"`` the new row joins its nearest centroid's list,
+and a lopsided list (``recluster_factor`` × the mean occupancy)
+triggers a full deterministic re-cluster, counted as
+``serve.ann.recluster``.
 
 Degradation is graceful and observable: an unloadable artifact
 (:meth:`ServingIndex.from_artifact`) or a query touching entities the
@@ -28,7 +41,7 @@ model has never seen falls back to TF-IDF content ranking, counting
 
 from __future__ import annotations
 
-import heapq
+import math
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -46,6 +59,11 @@ from repro.errors import (ArtifactError, GraphError, InjectedFault,
 from repro.graph.builder import attach_paper_to_network
 from repro.resilience import faults
 from repro.resilience.retry import Backoff, retry
+from repro.serve.ann import IVFIndex, exact_top_k
+
+#: Initial influence-buffer capacity (rows); doubles on overflow, so
+#: ingesting n papers copies O(n) floats total instead of O(n^2).
+_INITIAL_CAPACITY = 8
 
 
 class ServingIndex:
@@ -68,16 +86,36 @@ class ServingIndex:
         Candidates scored per matmul block during retrieval.
     cache_size:
         Bound on the LRU query cache (distinct ``(user, k)`` entries).
+    index:
+        Retrieval strategy — ``"exact"`` (default; scores the whole
+        pool, the correctness oracle) or ``"ivf"`` (approximate;
+        coarse-quantized probing via :class:`repro.serve.ann.IVFIndex`).
+    nprobe:
+        Inverted lists probed per ``"ivf"`` query (clamped to the list
+        count; probing every list reproduces the exact ranking).
+    n_lists:
+        Coarse-cluster count for ``"ivf"``; default ``round(sqrt(n))``
+        at first clustering time.
+    ann_seed:
+        Seed of the deterministic k-means quantizer.
     """
 
     def __init__(self, recommender: NPRecRecommender | None,
                  papers: Sequence[Paper] = (),
                  author_affiliations: dict[str, str] | None = None,
-                 block_size: int = 512, cache_size: int = 128) -> None:
+                 block_size: int = 512, cache_size: int = 128,
+                 index: str = "exact", nprobe: int = 8,
+                 n_lists: int | None = None, ann_seed: int = 0) -> None:
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if index not in ("exact", "ivf"):
+            raise ValueError(f"index must be 'exact' or 'ivf', got {index!r}")
+        if nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        if n_lists is not None and n_lists < 1:
+            raise ValueError(f"n_lists must be >= 1, got {n_lists}")
         if recommender is not None and (recommender.model is None
                                         or recommender.sem is None):
             raise NotFittedError("ServingIndex needs a *fitted* recommender")
@@ -88,7 +126,16 @@ class ServingIndex:
         self._papers: list[Paper] = []
         self._ids: list[str] = []
         self._positions: dict[str, int] = {}
-        self._influence: np.ndarray | None = None
+        # Influence rows live in a capacity-doubling buffer; the public
+        # `_influence` property views the filled prefix. Appends are
+        # amortized O(d) instead of the O(n*d) per-paper vstack copy.
+        self._influence_buffer: np.ndarray | None = None
+        self._influence_count = 0
+        self.index_kind = index
+        self.nprobe = nprobe
+        self._n_lists = n_lists
+        self._ann_seed = ann_seed
+        self._ann: IVFIndex | None = None
         self._novelty_raw: list[float] = []
         self._novelty_z: np.ndarray | None = None
         #: user id -> (profile papers, precomputed interest matrix or None)
@@ -148,13 +195,40 @@ class ServingIndex:
         """Pool paper ids, in insertion order."""
         return list(self._ids)
 
+    @property
+    def _influence(self) -> np.ndarray | None:
+        """Filled prefix of the influence buffer (None when empty)."""
+        if self._influence_buffer is None or self._influence_count == 0:
+            return None
+        return self._influence_buffer[:self._influence_count]
+
+    @_influence.setter
+    def _influence(self, value: np.ndarray | None) -> None:
+        # Wholesale replacement (health self-heal): the buffer is
+        # rebuilt exactly-sized and any clustered structure over the
+        # old values is dropped for a lazy refit.
+        if value is None:
+            self._influence_buffer = None
+            self._influence_count = 0
+        else:
+            self._influence_buffer = np.ascontiguousarray(value)
+            self._influence_count = int(value.shape[0])
+        self._ann = None
+
+    @property
+    def ann(self) -> IVFIndex | None:
+        """The coarse quantizer, once built (``index="ivf"`` only)."""
+        return self._ann
+
     # ------------------------------------------------------------------
     # Construction from an artifact
     # ------------------------------------------------------------------
     @classmethod
     def from_artifact(cls, directory, papers: Sequence[Paper] = (),
                       block_size: int = 512, cache_size: int = 128,
-                      retry_attempts: int = 3) -> "ServingIndex":
+                      retry_attempts: int = 3, index: str = "exact",
+                      nprobe: int = 8, n_lists: int | None = None,
+                      ann_seed: int = 0) -> "ServingIndex":
         """Build an index from a saved artifact, degrading on failure.
 
         The load is retried *retry_attempts* times with deterministic
@@ -166,9 +240,17 @@ class ServingIndex:
         answering, just without the learned model. The exhausted-retry
         attempt log stays inspectable on the returned index (and in the
         :meth:`health` report).
+
+        With ``index="ivf"``, a quantizer persisted next to the
+        pipeline (:func:`repro.serve.artifacts.save_ann_index`) is
+        adopted when its pool fingerprint matches *papers* — warmup
+        clusters once, serving never re-clusters. A missing or stale
+        ANN artifact falls back to a lazy deterministic refit on first
+        query (counted as ``serve.ann.artifact{outcome=...}``).
         """
-        from repro.serve.artifacts import (load_author_affiliations,
-                                           load_pipeline)
+        from repro.serve.artifacts import (load_ann_index,
+                                           load_author_affiliations,
+                                           load_pipeline, pool_fingerprint)
 
         @retry(attempts=retry_attempts, backoff=Backoff(base=0.02),
                retry_on=(ArtifactError, InjectedFault, RetryExhaustedError,
@@ -185,15 +267,33 @@ class ServingIndex:
             obs.count("serve.artifact.load_failures")
             with obs.trace("serve.degraded_startup", error=str(exc)):
                 index = cls(None, papers, block_size=block_size,
-                            cache_size=cache_size)
+                            cache_size=cache_size, index=index,
+                            nprobe=nprobe, n_lists=n_lists,
+                            ann_seed=ann_seed)
             index._artifact_dir = Path(directory)
             index._degraded_reason = "artifact_load_failed"
             index._last_load_error = exc
             return index
-        index = cls(recommender, papers, author_affiliations=affiliations,
-                    block_size=block_size, cache_size=cache_size)
-        index._artifact_dir = Path(directory)
-        return index
+        built = cls(recommender, papers, author_affiliations=affiliations,
+                    block_size=block_size, cache_size=cache_size,
+                    index=index, nprobe=nprobe, n_lists=n_lists,
+                    ann_seed=ann_seed)
+        built._artifact_dir = Path(directory)
+        if index == "ivf":
+            try:
+                ivf, meta = load_ann_index(directory)
+            except (ArtifactError, OSError):
+                obs.count("serve.ann.artifact", outcome="absent")
+            else:
+                if (meta.get("pool_sha256") == pool_fingerprint(built._ids)
+                        and ivf.num_rows == built.num_papers):
+                    built._ann = ivf
+                    obs.count("serve.ann.artifact", outcome="adopted")
+                else:
+                    # Stale fingerprint: the serving pool is not the one
+                    # the quantizer was built over; refit lazily.
+                    obs.count("serve.ann.artifact", outcome="stale")
+        return built
 
     # ------------------------------------------------------------------
     # Pool maintenance
@@ -347,9 +447,28 @@ class ServingIndex:
             novelty = self._recommender._novelty.get(paper.id, 0.0)
         self._novelty_raw.append(float(novelty))
         if influence_row is not None:
-            row = influence_row.reshape(1, -1)
-            self._influence = (row if self._influence is None
-                               else np.vstack([self._influence, row]))
+            row = np.asarray(influence_row).reshape(-1)
+            buffer = self._influence_buffer
+            if buffer is None:
+                buffer = np.empty((_INITIAL_CAPACITY, row.shape[0]),
+                                  dtype=row.dtype)
+            elif self._influence_count == buffer.shape[0]:
+                grown = np.empty((2 * buffer.shape[0], buffer.shape[1]),
+                                 dtype=buffer.dtype)
+                grown[:self._influence_count] = buffer
+                buffer = grown
+            buffer[self._influence_count] = row
+            self._influence_buffer = buffer
+            self._influence_count += 1
+            if self._ann is not None:
+                if self._ann.add(row):
+                    # Imbalance trigger: one inverted list outgrew the
+                    # recluster factor — refit the quantizer over the
+                    # whole pool (deterministic, same seed).
+                    self._ann.fit(self._influence)
+                    obs.count("serve.ann.recluster")
+                    obs.event("serve.ann.recluster",
+                              pool_size=self._influence_count)
 
     def _influence_rows(self, paper_ids: Sequence[str]) -> np.ndarray:
         model = self._recommender.model
@@ -446,6 +565,8 @@ class ServingIndex:
                     obs.count("serve.degraded", reason="unknown_entity")
                     obs.event("serve.degraded", reason="unknown_entity")
                     return self._fallback_rank(user_papers, k)
+            if self.index_kind == "ivf":
+                return self._ivf_top_k(interest, k)
             return self._blockwise_top_k(interest, k)
         except InjectedFault:
             # Per-query degradation: a fault on the model path answers
@@ -458,29 +579,61 @@ class ServingIndex:
     def _blockwise_top_k(self, interest: np.ndarray, k: int) -> list[str]:
         assert self._influence is not None
         cfg = self._recommender.config
-        mix = cfg.max_pool_mix
         novelty = (self._novelty_scores() if cfg.influence_weight > 0
                    else None)
-        # Bounded min-heap of (score, -position): ties between equal
-        # scores resolve toward the lower pool position, matching the
-        # stable mergesort ordering of the offline ranker.
-        heap: list[tuple[float, int]] = []
-        for start in range(0, len(self._papers), self.block_size):
-            block = self._influence[start:start + self.block_size]
-            pairwise = interest @ block.T
-            scores = (mix * pairwise.max(axis=0)
-                      + (1.0 - mix) * pairwise.mean(axis=0))
-            if novelty is not None:
-                scores = scores + cfg.influence_weight * \
-                    novelty[start:start + self.block_size]
-            for offset, score in enumerate(scores):
-                entry = (float(score), -(start + offset))
-                if len(heap) < k:
-                    heapq.heappush(heap, entry)
-                elif entry > heap[0]:
-                    heapq.heapreplace(heap, entry)
-        ordered = sorted(heap, reverse=True)
-        return [self._ids[-position] for _, position in ordered]
+        positions = exact_top_k(interest, self._influence, k,
+                                mix=cfg.max_pool_mix, novelty=novelty,
+                                novelty_weight=cfg.influence_weight,
+                                block_size=self.block_size)
+        return [self._ids[int(position)] for position in positions]
+
+    def _ivf_top_k(self, interest: np.ndarray, k: int) -> list[str]:
+        assert self._influence is not None
+        ann = self._ensure_ann()
+        cfg = self._recommender.config
+        novelty = (self._novelty_scores() if cfg.influence_weight > 0
+                   else None)
+        positions, stats = ann.search(
+            interest, self._influence, k, mix=cfg.max_pool_mix,
+            novelty=novelty, novelty_weight=cfg.influence_weight,
+            nprobe=self.nprobe, block_size=self.block_size)
+        obs.count("serve.ann.lists_probed", stats.lists_probed)
+        obs.count("serve.ann.candidates_scanned", stats.candidates_scanned)
+        obs.observe("serve.ann.scan_fraction", stats.scan_fraction)
+        return [self._ids[int(position)] for position in positions]
+
+    def _ensure_ann(self) -> IVFIndex:
+        """The fitted coarse quantizer, clustering lazily on first use."""
+        matrix = self._influence
+        assert matrix is not None
+        if self._ann is None or not self._ann.fitted:
+            n_lists = self._n_lists
+            if n_lists is None:
+                n_lists = max(1, int(round(math.sqrt(matrix.shape[0]))))
+            self._ann = IVFIndex(n_lists, seed=self._ann_seed).fit(matrix)
+        return self._ann
+
+    def build_ann_index(self) -> IVFIndex:
+        """Force-build (or return) the IVF quantizer over the pool.
+
+        Public hook for warmup flows that cluster once offline and
+        persist the result (:func:`repro.serve.artifacts.save_ann_index`)
+        so serving startup never pays the k-means.
+        """
+        with self._serve_lock:
+            if self.degraded or self._influence is None:
+                raise NotFittedError(
+                    "cannot cluster: the index has no influence matrix "
+                    "(degraded or empty pool)")
+            return self._ensure_ann()
+
+    def set_nprobe(self, nprobe: int) -> None:
+        """Retune the recall/latency trade-off; drops cached results."""
+        if nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        with self._serve_lock:
+            self.nprobe = nprobe
+            self._cache.clear()
 
     def _novelty_scores(self) -> np.ndarray:
         if self._novelty_z is None:

@@ -81,6 +81,12 @@ class TestFlattenAndClassify:
         assert runs.classify("serve.degraded{reason=x}:value") == "lower"
         assert runs.classify("nprec.train.epoch_accuracy:mean") == "higher"
         assert runs.classify("sem.twin.epoch_rule_agreement:mean") == "higher"
+        # The ANN gate: losing recall or scanning more rows regresses.
+        assert runs.classify("ann.recall_at_10{nprobe=8,pool=50000}:value") \
+            == "higher"
+        assert runs.classify("ann.scan_fraction{nprobe=8,pool=50000}:value") \
+            == "lower"
+        assert not runs.is_timing("ann.scan_fraction{pool=50000}:value")
         # Volume keys never gate: more traffic is not a regression.
         assert runs.classify("serve.query.latency:count") is None
         assert runs.classify("span.nprec.fit:calls") is None

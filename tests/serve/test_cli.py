@@ -51,6 +51,55 @@ class TestQuery:
         assert "top-3" in captured.out
 
 
+@pytest.fixture(scope="module")
+def ivf_dir(tmp_path_factory):
+    """A warmup artifact that also persisted its IVF quantizer."""
+    directory = tmp_path_factory.mktemp("cli-ivf") / "artifact"
+    code = main(["warmup", "--dir", str(directory), "--scale", "0.3",
+                 "--seed", "0", "--users", "6", "--index", "ivf",
+                 "--nprobe", "4"])
+    assert code == 0
+    return directory
+
+
+class TestIvfFlags:
+    def test_warmup_persists_quantizer(self, ivf_dir, capsys):
+        assert (ivf_dir / "ann" / "ivf.json").is_file()
+        assert (ivf_dir / "ann" / "ivf.npz").is_file()
+        meta = json.loads((ivf_dir / "ann" / "ivf.json").read_text())
+        assert meta["kind"] == "ivf"
+        assert "pool_sha256" in meta
+
+    def test_query_reports_ivf_strategy(self, ivf_dir, capsys):
+        code = main(["query", "--dir", str(ivf_dir), "-k", "4",
+                     "--index", "ivf", "--nprobe", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ivf, nprobe=2" in out
+        assert "top-4" in out
+
+    def test_exact_remains_the_default(self, ivf_dir, capsys):
+        code = main(["query", "--dir", str(ivf_dir), "-k", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact)" in out
+        assert "ivf," not in out
+
+    def test_loadtest_accepts_ivf(self, ivf_dir, tmp_path, capsys):
+        code = main(["loadtest", "--dir", str(ivf_dir), "--requests", "20",
+                     "--concurrency", "2", "--index", "ivf", "--nprobe", "2",
+                     "--out", str(tmp_path / "bench.json"),
+                     "--capture", str(tmp_path / "capture.jsonl"),
+                     "--runs-dir", str(tmp_path / "runs"),
+                     "--run-id", "ivf-smoke"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert summary["errors"] == 0
+        run = json.loads((tmp_path / "runs" / "ivf-smoke.json").read_text())
+        assert run["meta"]["index"] == "ivf"
+        assert run["meta"]["nprobe"] == 2
+
+
 class TestParsing:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
