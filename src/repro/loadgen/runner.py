@@ -39,6 +39,7 @@ from repro.obs.slo import SLOMonitor, SLOStatus, default_serving_slos
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.index import ServingIndex
+    from repro.serve.scheduler import BatchScheduler
 
 #: Quantiles the load generator tracks (p95 on top of the obs defaults:
 #: load reports conventionally quote p95, SLOs quote p99).
@@ -111,6 +112,12 @@ class LoadRunner:
         so sleeping on a different time source would mis-pace the run
         (a :class:`~repro.obs.testing.FakeClock` pairs its own
         ``advance`` method with itself).
+    scheduler:
+        Optional :class:`~repro.serve.scheduler.BatchScheduler`. When
+        set, query and probe requests route through
+        ``scheduler.query()`` — coalescing across the worker threads —
+        instead of the serial ``index.top_k()``; ingests still hit the
+        index directly (they mutate, and never batch).
     """
 
     def __init__(self, index: "ServingIndex", schedule: Schedule, *,
@@ -118,9 +125,11 @@ class LoadRunner:
                  monitor: SLOMonitor | None = None,
                  slo_interval: float = 1.0,
                  clock: Callable[[], float] = time.perf_counter,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 scheduler: "BatchScheduler | None" = None) -> None:
         self.index = index
         self.schedule = schedule
+        self.scheduler = scheduler
         self.telemetry = (telemetry if telemetry is not None
                           else WindowedTelemetry())
         self.monitor = (monitor if monitor is not None
@@ -148,9 +157,15 @@ class LoadRunner:
         with obs.request("loadgen.request", kind=request.kind) as span:
             try:
                 if request.kind == "query":
-                    self.index.top_k(request.user_id, k=request.k)
+                    if self.scheduler is not None:
+                        self.scheduler.query(request.user_id, k=request.k)
+                    else:
+                        self.index.top_k(request.user_id, k=request.k)
                 elif request.kind == "probe":
-                    self.index.top_k([request.paper], k=request.k)
+                    if self.scheduler is not None:
+                        self.scheduler.query([request.paper], k=request.k)
+                    else:
+                        self.index.top_k([request.paper], k=request.k)
                 else:  # ingest
                     self.index.add_paper(request.paper)
             except Exception as exc:  # a load worker must survive anything

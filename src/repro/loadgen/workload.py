@@ -27,6 +27,9 @@ from repro.data.schema import Paper
 #: Request kinds a schedule can contain.
 KINDS = ("query", "ingest", "probe")
 
+#: How query requests pick among the registered users.
+USER_ORDERS = ("random", "round_robin")
+
 
 @dataclass(frozen=True)
 class Request:
@@ -125,7 +128,7 @@ def build_schedule(user_ids: Sequence[str], papers: Sequence[Paper],
                    n_requests: int, *, mode: str = "closed",
                    concurrency: int = 4, qps: float | None = None,
                    mix: WorkloadMix | None = None, k: int = 10,
-                   seed: int = 0) -> Schedule:
+                   user_order: str = "random", seed: int = 0) -> Schedule:
     """Materialise a deterministic schedule of *n_requests* requests.
 
     Closed-loop mode (``mode="closed"``) produces no arrival times:
@@ -135,6 +138,16 @@ def build_schedule(user_ids: Sequence[str], papers: Sequence[Paper],
     exponential inter-arrival gaps targeting *qps* requests/second
     (a Poisson process), which measures behaviour under an offered —
     not admitted — load.
+
+    *user_order* controls how query requests pick among the registered
+    users. ``"random"`` (the default) draws i.i.d. uniform picks — a
+    popularity-flat approximation of organic traffic where repeats keep
+    the serving LRU warm. ``"round_robin"`` cycles through the users in
+    registration order — the uniform per-user scan of batch workloads
+    (nightly digest generation over the whole user base), which is also
+    the cache-adversarial regime: with more users than LRU slots every
+    query is a rank-path miss, so it is the right workload for
+    benchmarking the rank hot path rather than the cache.
 
     All randomness flows from one :func:`numpy.random.default_rng`
     seeded with *seed*: kinds, user picks, payload templates, and
@@ -153,6 +166,9 @@ def build_schedule(user_ids: Sequence[str], papers: Sequence[Paper],
     if not papers:
         raise ValueError("need at least one template paper for "
                          "ingest/probe payloads")
+    if user_order not in USER_ORDERS:
+        raise ValueError(f"user_order must be one of {USER_ORDERS}, "
+                         f"got {user_order!r}")
 
     mix = mix if mix is not None else WorkloadMix()
     rng = np.random.default_rng(seed)
@@ -161,11 +177,16 @@ def build_schedule(user_ids: Sequence[str], papers: Sequence[Paper],
                 if mode == "open" else None)
 
     requests = []
+    cursor = 0  # round-robin position, advanced only on query requests
     for i in range(n_requests):
         kind = KINDS[int(kinds[i])]
         arrival = None if arrivals is None else float(arrivals[i])
         if kind == "query":
-            user = str(user_ids[int(rng.integers(len(user_ids)))])
+            if user_order == "round_robin":
+                user = str(user_ids[cursor % len(user_ids)])
+                cursor += 1
+            else:
+                user = str(user_ids[int(rng.integers(len(user_ids)))])
             requests.append(Request(index=i, kind=kind, user_id=user, k=k,
                                     arrival=arrival))
         else:

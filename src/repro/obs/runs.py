@@ -43,11 +43,12 @@ SCHEMA_VERSION = 1
 _LOWER_IS_BETTER = re.compile(
     r"latency|duration|seconds|alloc|degraded|dropped|skipped|underfilled|"
     r"failures|faults|guard\.trips|retries_exhausted|corrupt|rollbacks|"
-    r"errors|error_rate|scan_fraction")
-_HIGHER_IS_BETTER = re.compile(r"accuracy|agreement|recall")
-#: Subset of lower-is-better keys that measure wall-clock or memory and
+    r"errors|error_rate|scan_fraction|[._]shed")
+_HIGHER_IS_BETTER = re.compile(r"accuracy|agreement|recall|achieved_qps|"
+                               r"throughput")
+#: Keys that measure wall-clock, memory, or machine-dependent rates and
 #: therefore gate with the looser tolerance.
-_TIMING = re.compile(r"latency|duration|seconds|alloc")
+_TIMING = re.compile(r"latency|duration|seconds|alloc|qps|throughput")
 
 
 def git_sha() -> str | None:

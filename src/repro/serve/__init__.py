@@ -30,10 +30,24 @@ Guarantees:
   inside the artifact (:func:`save_ann_index`) so serving startup
   never re-clusters.
 
+* concurrent traffic batches — :class:`BatchScheduler`
+  (:mod:`repro.serve.scheduler`) coalesces concurrent queries into
+  single batched matrix passes (:meth:`ServingIndex.batch_top_k`,
+  bit-identical to serial execution), with a bounded admission queue
+  and SLO-driven load-shedding to the TF-IDF degraded path.
+
 CLI: ``python -m repro.serve warmup|query|smoke|health|loadtest``.
 """
 
-from repro.serve.ann import IVFIndex, ProbeStats, exact_top_k, pooled_scores
+from repro.serve.ann import (
+    IVFIndex,
+    ProbeStats,
+    batch_exact_top_k,
+    exact_top_k,
+    exact_top_k_scored,
+    pooled_scores,
+    rank_candidates,
+)
 from repro.serve.artifacts import (
     SCHEMA_VERSION,
     has_ann_index,
@@ -44,12 +58,15 @@ from repro.serve.artifacts import (
     save_ann_index,
     save_pipeline,
 )
-from repro.serve.index import ServingIndex
+from repro.serve.index import BatchQueryResult, ServingIndex
+from repro.serve.scheduler import BatchScheduler, SheddingGovernor, Ticket
 
 __all__ = [
     "SCHEMA_VERSION",
     "save_pipeline", "load_pipeline", "load_author_affiliations",
     "save_ann_index", "load_ann_index", "has_ann_index", "pool_fingerprint",
-    "IVFIndex", "ProbeStats", "exact_top_k", "pooled_scores",
-    "ServingIndex",
+    "IVFIndex", "ProbeStats", "exact_top_k", "exact_top_k_scored",
+    "batch_exact_top_k", "rank_candidates", "pooled_scores",
+    "ServingIndex", "BatchQueryResult",
+    "BatchScheduler", "SheddingGovernor", "Ticket",
 ]

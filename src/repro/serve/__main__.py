@@ -67,6 +67,28 @@ def _index_kwargs(args: argparse.Namespace) -> dict:
             "n_lists": args.n_lists}
 
 
+def _add_scheduler_args(parser: argparse.ArgumentParser,
+                        shed_threshold: bool = False) -> None:
+    parser.add_argument("--scheduler", action="store_true",
+                        help="route queries through the micro-batching "
+                             "BatchScheduler (coalesced matrix passes, "
+                             "admission control, load-shedding)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="requests per batch flush (a full batch "
+                             "flushes immediately)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="max milliseconds a lone request waits for "
+                             "batch co-riders before flushing")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="admission-queue bound; overflow sheds to "
+                             "the TF-IDF degraded path")
+    if shed_threshold:
+        parser.add_argument("--shed-threshold", type=float, default=0.25,
+                            help="governor latency threshold (seconds) "
+                                 "above which requests count against the "
+                                 "SLO burn budget")
+
+
 def _add_index_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--index", choices=("exact", "ivf"), default="exact",
                         help="retrieval strategy: exact blockwise scan "
@@ -197,11 +219,22 @@ def cmd_health(args: argparse.Namespace) -> int:
     # free for embedding callers.
     was_enabled = obs.is_enabled()
     obs.configure(enabled=True)
+    scheduler = None
     try:
         index = ServingIndex.from_artifact(args.dir,
                                            retry_attempts=args.retries)
+        if args.scheduler:
+            # Attach a live scheduler so the report includes the
+            # "scheduler" check (queue depth, in-flight batches, shed
+            # rate) exactly as a long-running server would publish it.
+            from repro.serve.scheduler import BatchScheduler
+            scheduler = BatchScheduler(index, max_batch=args.max_batch,
+                                       max_wait_ms=args.max_wait_ms,
+                                       queue_depth=args.queue_depth)
         report = index.health()
     finally:
+        if scheduler is not None:
+            scheduler.close()
         obs.configure(enabled=was_enabled)
     # stdout stays pure JSON (machine-readable); the per-SLO summary
     # lines go to stderr alongside any UNHEALTHY banner.
@@ -233,6 +266,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         task = _reload_task(str(directory))
         index = ServingIndex.from_artifact(str(directory),
                                            papers=task.new_papers,
+                                           cache_size=args.cache_size,
                                            **_index_kwargs(args))
     else:
         print(f"no artifact at {directory}; fitting one "
@@ -248,6 +282,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                       })
         index = ServingIndex.from_artifact(str(directory),
                                            papers=task.new_papers,
+                                           cache_size=args.cache_size,
                                            **_index_kwargs(args))
     if index.degraded:
         print("WARNING: index is degraded; load run exercises the "
@@ -265,18 +300,49 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         mode=args.mode, concurrency=args.concurrency, qps=args.qps,
         mix=WorkloadMix(query=args.mix_query, ingest=args.mix_ingest,
                         probe=args.mix_probe),
-        k=args.k, seed=args.seed)
+        k=args.k, user_order=args.user_order, seed=args.seed)
+    scheduler = None
+    if args.scheduler:
+        from repro.serve.scheduler import BatchScheduler, SheddingGovernor
+        scheduler = BatchScheduler(
+            index, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            queue_depth=args.queue_depth,
+            governor=SheddingGovernor(threshold=args.shed_threshold))
     print(f"running {len(schedule)} {schedule.mode}-loop requests "
           f"(concurrency={schedule.concurrency}, seed={schedule.seed}, "
+          f"scheduler={'on' if scheduler else 'off'}, "
           f"schedule sha256 {schedule.sha256()[:12]}) ...", file=sys.stderr)
-    runner = LoadRunner(index, schedule)
-    summary = runner.run()
+    runner = LoadRunner(index, schedule, scheduler=scheduler)
+    try:
+        summary = runner.run()
+    finally:
+        if scheduler is not None:
+            scheduler.close()
 
     meta = {"seed": args.seed, "mode": args.mode,
             "concurrency": args.concurrency, "requests": args.requests,
             "k": args.k, "target_qps": args.qps,
             "index": args.index, "nprobe": args.nprobe,
+            "cache_size": args.cache_size,
+            "user_order": args.user_order,
+            "scheduler": bool(args.scheduler),
             "schedule_sha256": schedule.sha256()}
+    if scheduler is not None:
+        stats = scheduler.stats()
+        meta.update({"max_batch": args.max_batch,
+                     "max_wait_ms": args.max_wait_ms,
+                     "queue_depth": args.queue_depth})
+        # Gauges so the run-registry gate sees the batched run's shape:
+        # shed_rate gates lower-is-better against the committed zero
+        # baseline; batches/fast hits are informational.
+        obs.gauge("serve.scheduler.shed_rate", stats["shed_rate"])
+        obs.gauge("serve.scheduler.batches", float(stats["batches"]))
+        obs.gauge("serve.scheduler.cache_fast_hits",
+                  float(stats["cache_fast_hits"]))
+        print(f"scheduler: {stats['batches']} batches, "
+              f"{stats['cache_fast_hits']} cache fast hits, "
+              f"{stats['shed']} shed ({stats['shed_rate']:.1%})",
+              file=sys.stderr)
     report = build_report(schedule, summary, runner.telemetry,
                           registry=obs.get_registry(), meta=meta)
     out = write_report(args.out, report)
@@ -339,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
     health.add_argument("--dir", default="artifacts/serve")
     health.add_argument("--retries", type=int, default=3,
                         help="artifact load attempts before degrading")
+    _add_scheduler_args(health)
     health.set_defaults(fn=cmd_health)
 
     loadtest = sub.add_parser(
@@ -363,6 +430,17 @@ def main(argv: list[str] | None = None) -> int:
                           help="corpus scale when fitting a fresh artifact")
     loadtest.add_argument("--split-year", type=int, default=2014)
     loadtest.add_argument("--users", type=int, default=12)
+    loadtest.add_argument("--cache-size", type=int, default=128,
+                          help="serving LRU capacity; size it below the "
+                               "distinct (user, k) working set to benchmark "
+                               "the rank hot path instead of the cache")
+    loadtest.add_argument("--user-order", choices=("random", "round_robin"),
+                          default="random",
+                          help="query user selection: 'random' draws "
+                               "uniform i.i.d. picks (organic traffic), "
+                               "'round_robin' scans users in registration "
+                               "order (digest-style batch workload; every "
+                               "query misses an undersized LRU)")
     loadtest.add_argument("--out", default="results/BENCH_serve_load.json")
     loadtest.add_argument("--capture", default="results/obs/serve_load.jsonl")
     loadtest.add_argument("--runs-dir", default="results/obs/runs")
@@ -370,6 +448,7 @@ def main(argv: list[str] | None = None) -> int:
                           help="run-registry snapshot id (fixed so CI can "
                                "gate against the committed baseline)")
     _add_index_args(loadtest)
+    _add_scheduler_args(loadtest, shed_threshold=True)
     loadtest.set_defaults(fn=cmd_loadtest)
 
     args = parser.parse_args(argv)

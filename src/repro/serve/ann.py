@@ -73,20 +73,48 @@ def _chunked_scores(interest: np.ndarray, matrix: np.ndarray,
     return scores
 
 
-def exact_top_k(interest: np.ndarray, matrix: np.ndarray, k: int, *,
-                mix: float, novelty: np.ndarray | None = None,
-                novelty_weight: float = 0.0,
-                block_size: int = 512) -> np.ndarray:
-    """Positions of the top-*k* rows of *matrix*, best first (the oracle).
+def _feed_heap(heap: list[tuple[float, int]], scores: np.ndarray,
+               start: int, k: int) -> None:
+    """Push one block's plausible candidates into a bounded top-k heap.
+
+    The :func:`np.argpartition` prescreen keeps only scores that can
+    still make the top-k (score ≥ the block's k-th best — every other
+    row is beaten by ≥k rows of its own block), so the per-element
+    Python loop touches ≤k entries per block.
+    """
+    if scores.shape[0] > k:
+        part = np.argpartition(-scores, k - 1)
+        threshold = scores[part[k - 1]]
+        keep = np.flatnonzero(scores >= threshold)
+    else:
+        keep = np.arange(scores.shape[0])
+    for offset in keep:
+        entry = (float(scores[offset]), -(start + int(offset)))
+        if len(heap) < k:
+            heapq.heappush(heap, entry)
+        elif entry > heap[0]:
+            heapq.heapreplace(heap, entry)
+
+
+def _drain_heap(heap: list[tuple[float, int]]) -> tuple[np.ndarray, np.ndarray]:
+    """(positions, scores) of a bounded heap, best first."""
+    ordered = sorted(heap, reverse=True)
+    positions = np.asarray([-position for _, position in ordered],
+                           dtype=np.int64)
+    scores = np.asarray([score for score, _ in ordered], dtype=np.float64)
+    return positions, scores
+
+
+def exact_top_k_scored(interest: np.ndarray, matrix: np.ndarray, k: int, *,
+                       mix: float, novelty: np.ndarray | None = None,
+                       novelty_weight: float = 0.0,
+                       block_size: int = 512) -> tuple[np.ndarray, np.ndarray]:
+    """(positions, scores) of the top-*k* rows of *matrix*, best first.
 
     Blockwise bounded-heap ranking: memory stays
     ``O(block_size * dim + k)`` regardless of pool size. Ties between
     equal scores resolve toward the lower row position, matching the
-    stable mergesort ordering of the offline ranker. Each block is
-    prescreened with :func:`np.argpartition` so only candidates that
-    can still make the top-k (score ≥ the block's k-th best — every
-    other row is beaten by ≥k rows of its own block) feed the
-    per-element Python heap loop.
+    stable mergesort ordering of the offline ranker.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -98,20 +126,79 @@ def exact_top_k(interest: np.ndarray, matrix: np.ndarray, k: int, *,
         if novelty is not None:
             scores = scores + novelty_weight * \
                 novelty[start:start + block.shape[0]]
-        if scores.shape[0] > k:
-            part = np.argpartition(-scores, k - 1)
-            threshold = scores[part[k - 1]]
-            keep = np.flatnonzero(scores >= threshold)
-        else:
-            keep = np.arange(scores.shape[0])
-        for offset in keep:
-            entry = (float(scores[offset]), -(start + int(offset)))
-            if len(heap) < k:
-                heapq.heappush(heap, entry)
-            elif entry > heap[0]:
-                heapq.heapreplace(heap, entry)
-    ordered = sorted(heap, reverse=True)
-    return np.asarray([-position for _, position in ordered], dtype=np.int64)
+        _feed_heap(heap, scores, start, k)
+    return _drain_heap(heap)
+
+
+def exact_top_k(interest: np.ndarray, matrix: np.ndarray, k: int, *,
+                mix: float, novelty: np.ndarray | None = None,
+                novelty_weight: float = 0.0,
+                block_size: int = 512) -> np.ndarray:
+    """Positions of the top-*k* rows of *matrix*, best first (the oracle)."""
+    return exact_top_k_scored(interest, matrix, k, mix=mix, novelty=novelty,
+                              novelty_weight=novelty_weight,
+                              block_size=block_size)[0]
+
+
+def batch_exact_top_k(interests: "list[np.ndarray]", matrix: np.ndarray,
+                      ks: "list[int]", *, mix: float,
+                      novelty: np.ndarray | None = None,
+                      novelty_weight: float = 0.0,
+                      block_size: int = 512
+                      ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Top-k for several queries in one blockwise pass over *matrix*.
+
+    Each pool block is sliced once and scored against every query's
+    interest matrix with the *same* per-query ``pooled_scores`` call
+    shapes as :func:`exact_top_k_scored`, so every query's (positions,
+    scores) result is bit-identical to ranking it alone — the batched
+    serving path's equivalence guarantee rests on this. The batching
+    win is the amortised block slicing, novelty gather, and Python
+    dispatch, not a changed reduction order.
+    """
+    if len(interests) != len(ks):
+        raise ValueError(f"{len(interests)} interest matrices but "
+                         f"{len(ks)} k values")
+    for k in ks:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+    if not interests:
+        return []
+    n = matrix.shape[0]
+    heaps: list[list[tuple[float, int]]] = [[] for _ in interests]
+    for start in range(0, n, block_size):
+        block = matrix[start:start + block_size]
+        block_novelty = (novelty_weight * novelty[start:start + block.shape[0]]
+                         if novelty is not None else None)
+        for q, interest in enumerate(interests):
+            scores = pooled_scores(interest, block, mix)
+            if block_novelty is not None:
+                scores = scores + block_novelty
+            _feed_heap(heaps[q], scores, start, ks[q])
+    return [_drain_heap(heap) for heap in heaps]
+
+
+def rank_candidates(interest: np.ndarray, matrix: np.ndarray,
+                    candidates: np.ndarray, k: int, *, mix: float,
+                    novelty: np.ndarray | None = None,
+                    novelty_weight: float = 0.0,
+                    block_size: int = 512) -> tuple[np.ndarray, np.ndarray]:
+    """(positions, scores) of the top-*k* rows among *candidates*.
+
+    The scoring half of :meth:`IVFIndex.search`, usable on a candidate
+    set gathered earlier (the batched serving path gathers under the
+    serving lock and scores outside it). *candidates* must be sorted
+    ascending. Exact-path score arithmetic and tie-breaking: descending
+    score, ties toward the lower pool position.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if candidates.shape[0] == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+    scores = _chunked_scores(interest, matrix, candidates, mix,
+                             novelty, novelty_weight, block_size)
+    order = np.lexsort((candidates, -scores))[:k]
+    return candidates[order], scores[order]
 
 
 @dataclass(frozen=True)
@@ -297,6 +384,40 @@ class IVFIndex:
         order = np.lexsort((np.arange(scores.shape[0]), -scores))
         return order[:nprobe]
 
+    def gather(self, interest: np.ndarray, mix: float,
+               nprobe: int) -> tuple[np.ndarray, ProbeStats]:
+        """Candidate positions (sorted ascending) of the probed lists.
+
+        The probe-and-gather half of :meth:`search`: ranks centroids,
+        collects the member positions of the best ``nprobe`` lists into
+        one array, and accounts the work. The returned array is a copy,
+        so a caller may score it after the inverted lists have grown
+        (the batched serving path gathers under the serving lock and
+        scores outside it).
+        """
+        probed = self.probe(interest, mix, nprobe)
+        members = [self._lists[j] for j in probed]
+        total = sum(len(m) for m in members)
+        stats = ProbeStats(lists_probed=int(probed.shape[0]),
+                           candidates_scanned=total,
+                           pool_size=len(self._assignments))
+        if total == 0:
+            return np.empty(0, dtype=np.int64), stats
+        candidates = np.sort(np.concatenate(
+            [np.asarray(m, dtype=np.int64) for m in members if m]))
+        return candidates, stats
+
+    def gather_many(self, interests: "list[np.ndarray]", mix: float,
+                    nprobe: int) -> list[tuple[np.ndarray, ProbeStats]]:
+        """Multi-query probe: :meth:`gather` for each interest matrix.
+
+        Centroid scoring stays per-query (same call shapes as a lone
+        :meth:`probe`, so batched probing is bit-identical to serial);
+        the batching win is one pass over the clustered state for the
+        whole batch.
+        """
+        return [self.gather(interest, mix, nprobe) for interest in interests]
+
     def search(self, interest: np.ndarray, matrix: np.ndarray, k: int, *,
                mix: float, novelty: np.ndarray | None = None,
                novelty_weight: float = 0.0, nprobe: int = 8,
@@ -312,22 +433,15 @@ class IVFIndex:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        probed = self.probe(interest, mix, nprobe)
-        members = [self._lists[j] for j in probed]
-        total = sum(len(m) for m in members)
-        stats = ProbeStats(lists_probed=int(probed.shape[0]),
-                           candidates_scanned=total,
-                           pool_size=len(self._assignments))
-        if total == 0:
-            return np.empty(0, dtype=np.int64), stats
-        candidates = np.sort(np.concatenate(
-            [np.asarray(m, dtype=np.int64) for m in members if m]))
-        scores = _chunked_scores(interest, matrix, candidates, mix,
-                                 novelty, novelty_weight, block_size)
+        candidates, stats = self.gather(interest, mix, nprobe)
+        if candidates.shape[0] == 0:
+            return candidates, stats
         # Descending score, ties toward the lower pool position — the
         # exact path's (score, -position) heap order.
-        order = np.lexsort((candidates, -scores))[:k]
-        return candidates[order], stats
+        positions, _ = rank_candidates(
+            interest, matrix, candidates, k, mix=mix, novelty=novelty,
+            novelty_weight=novelty_weight, block_size=block_size)
+        return positions, stats
 
     # ------------------------------------------------------------------
     # Persistence payload

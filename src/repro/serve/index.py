@@ -43,9 +43,11 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -59,11 +61,60 @@ from repro.errors import (ArtifactError, GraphError, InjectedFault,
 from repro.graph.builder import attach_paper_to_network
 from repro.resilience import faults
 from repro.resilience.retry import Backoff, retry
-from repro.serve.ann import IVFIndex, exact_top_k
+from repro.serve.ann import (IVFIndex, batch_exact_top_k, exact_top_k,
+                             rank_candidates)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.scheduler import BatchScheduler
 
 #: Initial influence-buffer capacity (rows); doubles on overflow, so
 #: ingesting n papers copies O(n) floats total instead of O(n^2).
 _INITIAL_CAPACITY = 8
+
+
+@dataclass
+class BatchQueryResult:
+    """Outcome of one request inside a :meth:`ServingIndex.batch_top_k`.
+
+    ``scores`` carries the ranked pooled scores when the answer was
+    computed in this batch (``None`` on a cache hit, whose scores were
+    produced — bit-identically — by an earlier computation).
+    ``pool_version`` stamps the pool state the answer reflects, so a
+    response produced while ingestion raced the batch can be checked
+    against the right serial oracle (pre- or post-ingest, never a torn
+    mix). A per-request validation failure (unknown user, bad k) lands
+    in ``error`` instead of failing the whole batch.
+    """
+
+    ids: list[str] = field(default_factory=list)
+    scores: np.ndarray | None = None
+    pool_version: int = -1
+    cache: str = "miss"
+    degraded_reason: str | None = None
+    error: Exception | None = None
+
+
+class _BatchJob:
+    """One deduplicated unit of batch work: a distinct ``(user, k)``."""
+
+    __slots__ = ("cache_key", "papers", "profile", "k", "positions", "mode",
+                 "reason", "fault", "interest", "candidates", "stats",
+                 "ids", "scores")
+
+    def __init__(self, cache_key: tuple, papers: list, profile, k: int) -> None:
+        self.cache_key = cache_key
+        self.papers = papers
+        self.profile = profile
+        self.k = k
+        self.positions: list[int] = []  # request indices sharing this job
+        self.mode = "rank"
+        self.reason: str | None = None
+        self.fault = False
+        self.interest: np.ndarray | None = None
+        self.candidates: np.ndarray | None = None
+        self.stats = None
+        self.ids: list[str] = []
+        self.scores: np.ndarray | None = None
 
 
 class ServingIndex:
@@ -152,6 +203,12 @@ class ServingIndex:
                                              else None)
         self._last_load_error: RetryExhaustedError | None = None
         self._query_fault = False
+        # Monotone stamp of result-affecting pool state: bumps on every
+        # append, nprobe retune, and influence heal. Batched responses
+        # are stamped with the version they were computed against.
+        self._pool_version = 0
+        #: Attached micro-batching scheduler, reported by health().
+        self._scheduler: "BatchScheduler | None" = None
         # Serialises pool mutation and retrieval so the index can be
         # driven from concurrent threads (the repro.loadgen closed
         # loop). Reentrant: add_paper at construction time and health
@@ -196,6 +253,25 @@ class ServingIndex:
         return list(self._ids)
 
     @property
+    def pool_version(self) -> int:
+        """Monotone stamp of result-affecting state (see batch_top_k)."""
+        return self._pool_version
+
+    @property
+    def scheduler(self) -> "BatchScheduler | None":
+        """The attached micro-batching scheduler, when one is serving."""
+        return self._scheduler
+
+    def attach_scheduler(self, scheduler: "BatchScheduler") -> None:
+        """Register *scheduler* so :meth:`health` reports its state."""
+        self._scheduler = scheduler
+
+    def detach_scheduler(self, scheduler: "BatchScheduler | None" = None) -> None:
+        """Drop the attached scheduler (no-op when another is attached)."""
+        if scheduler is None or self._scheduler is scheduler:
+            self._scheduler = None
+
+    @property
     def _influence(self) -> np.ndarray | None:
         """Filled prefix of the influence buffer (None when empty)."""
         if self._influence_buffer is None or self._influence_count == 0:
@@ -214,6 +290,7 @@ class ServingIndex:
             self._influence_buffer = np.ascontiguousarray(value)
             self._influence_count = int(value.shape[0])
         self._ann = None
+        self._pool_version += 1
 
     @property
     def ann(self) -> IVFIndex | None:
@@ -338,12 +415,25 @@ class ServingIndex:
                 if paper.id in self._positions:
                     raise ValueError(
                         f"paper {paper.id!r} is already in the pool")
+                known = ("paper", paper.id) in graph
+            prepared = None
+            if not known:
+                # The fallible, pure, *expensive* half (SEM embedding,
+                # TF-IDF row) runs with _serve_lock released: concurrent
+                # queries and batch flushes keep flowing while this
+                # paper embeds, and a retry never observes a
+                # half-ingested paper. Commit re-checks under the lock.
+                prepared = self._prepare_ingest(paper)
+            with self._serve_lock:
+                if paper.id in self._positions:
+                    raise ValueError(
+                        f"paper {paper.id!r} is already in the pool")
                 if ("paper", paper.id) in graph:
                     # Known to the model (e.g. a fit-time paper joining the
                     # pool late): no graph/model mutation needed.
                     row = self._influence_rows([paper.id])[0]
                 else:
-                    text_vector, content_vector = self._prepare_ingest(paper)
+                    text_vector, content_vector = prepared
                     index = attach_paper_to_network(graph, paper,
                                                     self._affiliations)
                     model.attach_paper(index, text_vector=text_vector,
@@ -439,6 +529,7 @@ class ServingIndex:
             del self._cache[key]
 
     def _append(self, paper: Paper, influence_row: np.ndarray | None) -> None:
+        self._pool_version += 1
         self._positions[paper.id] = len(self._papers)
         self._papers.append(paper)
         self._ids.append(paper.id)
@@ -490,6 +581,24 @@ class ServingIndex:
     # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
+    def _resolve_user(self, user: "str | Sequence[Paper]"):
+        """``(user_key, profile papers, interest or None)`` for *user*.
+
+        Raises :class:`KeyError` for an unregistered user id and
+        :class:`ValueError` for an empty ad-hoc paper list — the same
+        contract whether the request arrives serially or in a batch.
+        """
+        if isinstance(user, str):
+            if user not in self._profiles:
+                raise KeyError(f"user {user!r} is not registered "
+                               "(call register_user first)")
+            papers, profile = self._profiles[user]
+            return user, papers, profile
+        papers = list(user)
+        if not papers:
+            raise ValueError("user has no representative papers")
+        return tuple(p.id for p in papers), papers, None
+
     def top_k(self, user: "str | Sequence[Paper]", k: int = 10) -> list[str]:
         """Ids of the top-*k* pool papers for *user*, best first.
 
@@ -499,18 +608,7 @@ class ServingIndex:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        if isinstance(user, str):
-            if user not in self._profiles:
-                raise KeyError(f"user {user!r} is not registered "
-                               "(call register_user first)")
-            user_key: tuple | str = user
-            papers, profile = self._profiles[user]
-        else:
-            papers = list(user)
-            if not papers:
-                raise ValueError("user has no representative papers")
-            user_key = tuple(p.id for p in papers)
-            profile = None
+        user_key, papers, profile = self._resolve_user(user)
         obs.count("serve.queries")
         # A request span (not a plain trace): allocates the trace_id
         # every nested span, degradation event, and metric exemplar
@@ -544,6 +642,233 @@ class ServingIndex:
         self._observe_latency("serve.query", span.duration,
                               trace_id=span.trace_id, cache=outcome)
         return result
+
+    def cached_top_k(self, user: "str | Sequence[Paper]",
+                     k: int = 10) -> BatchQueryResult | None:
+        """Answer from the LRU cache alone, or ``None`` on a miss.
+
+        The scheduler's admission fast path: a hit resolves without
+        queueing (and without a batch slot), counted exactly like a
+        serial hit. A miss — or an invalid request, which the batch path
+        reports per-request — touches **no** counters and returns
+        ``None``, leaving the miss accounting to whichever path actually
+        computes the answer.
+        """
+        if k < 1:
+            return None
+        try:
+            user_key, _, _ = self._resolve_user(user)
+        except (KeyError, ValueError):
+            return None
+        start = time.perf_counter()
+        with self._serve_lock:
+            cached = self._cache.get((user_key, int(k)))
+            if cached is None:
+                return None
+            self._cache.move_to_end((user_key, int(k)))
+            self.cache_hits += 1
+            obs.count("serve.queries")
+            obs.count("serve.cache", outcome="hit")
+            version = self._pool_version
+            ids = list(cached)
+        self._observe_latency("serve.query", time.perf_counter() - start,
+                              trace_id=obs.current_trace_id(), cache="hit")
+        return BatchQueryResult(ids=ids, scores=None, pool_version=version,
+                                cache="hit")
+
+    def shed_rank(self, user: "str | Sequence[Paper]",
+                  k: int = 10) -> BatchQueryResult:
+        """Degraded TF-IDF answer for a request the scheduler shed.
+
+        Same validation contract as :meth:`top_k`, but the model rank
+        path is skipped entirely — this is the load-shedding escape
+        hatch, counted as ``serve.degraded{reason="shed"}`` and never
+        cached (the next uncongested identical query should get the
+        model ranking back).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        _, papers, _ = self._resolve_user(user)
+        with obs.request("serve.query", k=int(k)) as span:
+            with self._serve_lock:
+                obs.count("serve.queries")
+                obs.count("serve.degraded", reason="shed")
+                obs.event("serve.degraded", reason="shed")
+                version = self._pool_version
+                ids = self._fallback_rank(papers, k) if self._papers else []
+            span.set("cache", "shed")
+        self._observe_latency("serve.query", span.duration,
+                              trace_id=span.trace_id, cache="shed")
+        return BatchQueryResult(ids=ids, scores=None, pool_version=version,
+                                cache="shed", degraded_reason="shed")
+
+    def batch_top_k(self, requests: "Sequence[tuple]"
+                    ) -> list[BatchQueryResult]:
+        """Answer several ``(user, k)`` requests in one coalesced pass.
+
+        The micro-batching rank entry point. Three phases:
+
+        1. **Admit** (under ``_serve_lock``): validate and resolve each
+           request, serve cache hits, deduplicate the misses into jobs
+           (one per distinct ``(user, k)``), resolve interest matrices,
+           and — under ``index="ivf"`` — gather each job's candidate
+           lists. Everything that reads mutable pool state happens here.
+        2. **Score** (lock *released*): pure-numpy ranking over the
+           influence snapshot — one blockwise pass shared by every
+           exact job (:func:`repro.serve.ann.batch_exact_top_k`),
+           per-job candidate scoring for IVF. Concurrent ingestion and
+           other batches proceed while this runs; scores are
+           bit-identical to ranking each request alone because per-query
+           matmul shapes are preserved.
+        3. **Publish** (re-locked): fill the LRU cache — skipped when
+           the pool version moved under the batch (the results are
+           still *valid* for the stamped version, just not cacheable)
+           or the job answered through the fault-degradation path.
+
+        Per-request validation errors land in
+        :attr:`BatchQueryResult.error`; the rest of the batch is
+        unaffected.
+        """
+        results: list[BatchQueryResult | None] = [None] * len(requests)
+        jobs: "OrderedDict[tuple, _BatchJob]" = OrderedDict()
+        fallback = None
+        matrix = novelty = None
+        cfg = None
+        with self._serve_lock:
+            version = self._pool_version
+            empty = not self._papers
+            for i, (user, k) in enumerate(requests):
+                try:
+                    if k < 1:
+                        raise ValueError(f"k must be >= 1, got {k}")
+                    user_key, papers, profile = self._resolve_user(user)
+                except (KeyError, ValueError) as exc:
+                    results[i] = BatchQueryResult(pool_version=version,
+                                                  cache="error", error=exc)
+                    continue
+                obs.count("serve.queries")
+                cache_key = (user_key, int(k))
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    self._cache.move_to_end(cache_key)
+                    self.cache_hits += 1
+                    obs.count("serve.cache", outcome="hit")
+                    results[i] = BatchQueryResult(
+                        ids=list(cached), scores=None,
+                        pool_version=version, cache="hit")
+                    continue
+                self.cache_misses += 1
+                obs.count("serve.cache", outcome="miss")
+                job = jobs.get(cache_key)
+                if job is None:
+                    job = jobs[cache_key] = _BatchJob(cache_key, papers,
+                                                      profile, int(k))
+                job.positions.append(i)
+            pending = list(jobs.values())
+            if pending and not empty:
+                if self.degraded:
+                    for job in pending:
+                        job.mode, job.reason = "fallback", "no_model"
+                else:
+                    cfg = self._recommender.config
+                    for job in pending:
+                        try:
+                            faults.maybe_fail("serve.query")
+                            interest = job.profile
+                            if interest is None:
+                                try:
+                                    interest = (self._recommender.model
+                                                .interest_vectors(
+                                                    [p.id for p
+                                                     in job.papers]).data)
+                                except GraphError:
+                                    job.mode = "fallback"
+                                    job.reason = "unknown_entity"
+                                    continue
+                            job.interest = interest
+                        except InjectedFault:
+                            job.mode, job.reason = "fallback", "query_fault"
+                            job.fault = True
+                if any(job.mode == "fallback" for job in pending):
+                    fallback = self._fallback_locked()
+                rank_jobs = [j for j in pending if j.mode == "rank"]
+                if rank_jobs:
+                    # `_influence` views the filled buffer prefix; rows
+                    # below `version`'s count are immutable (appends
+                    # either write past the prefix or copy into a grown
+                    # buffer), so the view is a consistent snapshot
+                    # outside the lock.
+                    matrix = self._influence
+                    novelty = (self._novelty_scores()
+                               if cfg.influence_weight > 0 else None)
+                    if self.index_kind == "ivf":
+                        ann = self._ensure_ann()
+                        for job in rank_jobs:
+                            job.candidates, job.stats = ann.gather(
+                                job.interest, cfg.max_pool_mix, self.nprobe)
+
+        # Phase 2 — lock released: pure-numpy scoring over snapshots.
+        if pending and empty:
+            for job in pending:
+                job.ids = []
+        elif pending:
+            for job in pending:
+                if job.mode != "fallback":
+                    continue
+                n = len(job.positions)
+                obs.count("serve.degraded", n, reason=job.reason)
+                for _ in range(n):
+                    obs.event("serve.degraded", reason=job.reason)
+                tfidf, fb_matrix = fallback
+                profile_vec = np.mean([tfidf.transform(p)
+                                       for p in job.papers], axis=0)
+                scores = fb_matrix @ profile_vec
+                order = np.argsort(-scores, kind="mergesort")[:job.k]
+                job.ids = [self._ids[int(i)] for i in order]
+            rank_jobs = [j for j in pending if j.mode == "rank"]
+            if rank_jobs and self.index_kind == "ivf":
+                for job in rank_jobs:
+                    positions, scores = rank_candidates(
+                        job.interest, matrix, job.candidates, job.k,
+                        mix=cfg.max_pool_mix, novelty=novelty,
+                        novelty_weight=cfg.influence_weight,
+                        block_size=self.block_size)
+                    job.ids = [self._ids[int(p)] for p in positions]
+                    job.scores = scores
+                    n = len(job.positions)
+                    obs.count("serve.ann.lists_probed",
+                              job.stats.lists_probed * n)
+                    obs.count("serve.ann.candidates_scanned",
+                              job.stats.candidates_scanned * n)
+                    for _ in range(n):
+                        obs.observe("serve.ann.scan_fraction",
+                                    job.stats.scan_fraction)
+            elif rank_jobs:
+                ranked = batch_exact_top_k(
+                    [j.interest for j in rank_jobs], matrix,
+                    [j.k for j in rank_jobs], mix=cfg.max_pool_mix,
+                    novelty=novelty, novelty_weight=cfg.influence_weight,
+                    block_size=self.block_size)
+                for job, (positions, scores) in zip(rank_jobs, ranked):
+                    job.ids = [self._ids[int(p)] for p in positions]
+                    job.scores = scores
+
+        # Phase 3 — publish: cache only when the pool did not move.
+        if pending:
+            with self._serve_lock:
+                fresh = self._pool_version == version
+                for job in pending:
+                    if fresh and not job.fault:
+                        self._cache[job.cache_key] = tuple(job.ids)
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
+        for job in pending:
+            for i in job.positions:
+                results[i] = BatchQueryResult(
+                    ids=list(job.ids), scores=job.scores,
+                    pool_version=version, cache="miss",
+                    degraded_reason=job.reason)
+        return results  # type: ignore[return-value]
 
     def _query(self, user_papers: list[Paper],
                profile: np.ndarray | None, k: int) -> list[str]:
@@ -634,6 +959,7 @@ class ServingIndex:
         with self._serve_lock:
             self.nprobe = nprobe
             self._cache.clear()
+            self._pool_version += 1
 
     def _novelty_scores(self) -> np.ndarray:
         if self._novelty_z is None:
@@ -737,6 +1063,19 @@ class ServingIndex:
             checks["fallback"] = fallback
         else:
             checks["fallback"] = fallback
+
+        # Attached micro-batching scheduler: a queue saturated to
+        # capacity (admissions are being shed as queue_full) or an
+        # actively-burning SLO governor makes the index unhealthy —
+        # it is answering, but through the degraded path.
+        if self._scheduler is not None:
+            stats = self._scheduler.stats()
+            saturated = stats["queue_depth"] >= stats["queue_capacity"]
+            checks["scheduler"] = {
+                "ok": not (saturated or stats["shedding"]),
+                "saturated": bool(saturated),
+                **stats,
+            }
 
         # Registered SLOs (latency quantiles, error budgets) close the
         # observability loop: a breach with real data makes the index

@@ -71,6 +71,36 @@ class TestScheduleShape:
         assert {r.kind for r in all_probes.requests} == {"probe"}
 
 
+class TestUserOrder:
+    def test_round_robin_cycles_registration_order(self, template_papers):
+        schedule = build(template_papers, user_ids=["a", "b", "c"],
+                         n_requests=30, user_order="round_robin",
+                         mix=WorkloadMix(query=1, ingest=0, probe=0))
+        users = [r.user_id for r in schedule.requests]
+        assert users == (["a", "b", "c"] * 10)
+
+    def test_round_robin_cursor_skips_non_queries(self, template_papers):
+        # The cursor advances only on query requests, so the user cycle
+        # stays strict even with ingests/probes interleaved.
+        schedule = build(template_papers, user_ids=["a", "b", "c"],
+                         n_requests=120, user_order="round_robin",
+                         mix=WorkloadMix(query=0.7, ingest=0.1, probe=0.2))
+        users = [r.user_id for r in schedule.requests if r.kind == "query"]
+        assert users == [["a", "b", "c"][i % 3] for i in range(len(users))]
+
+    def test_round_robin_is_deterministic_and_fingerprinted(
+            self, template_papers):
+        rr = build(template_papers, user_order="round_robin", seed=5)
+        assert rr.sha256() == build(template_papers,
+                                    user_order="round_robin",
+                                    seed=5).sha256()
+        assert rr.sha256() != build(template_papers, seed=5).sha256()
+
+    def test_unknown_order_rejected(self, template_papers):
+        with pytest.raises(ValueError, match="user_order"):
+            build(template_papers, user_order="zigzag")
+
+
 class TestValidation:
     def test_bad_args_raise(self, template_papers):
         with pytest.raises(ValueError):

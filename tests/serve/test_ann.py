@@ -8,8 +8,10 @@ import pytest
 
 from repro import obs
 from repro.errors import ArtifactError, NotFittedError
-from repro.serve import (IVFIndex, ServingIndex, exact_top_k, has_ann_index,
-                         load_ann_index, pool_fingerprint, save_ann_index)
+from repro.serve import (IVFIndex, ServingIndex, batch_exact_top_k,
+                         exact_top_k, exact_top_k_scored, has_ann_index,
+                         load_ann_index, pool_fingerprint, rank_candidates,
+                         save_ann_index)
 
 MIX = 0.7
 
@@ -65,6 +67,73 @@ class TestExactTopK:
         rows, interest, _ = _clustered(10)
         with pytest.raises(ValueError, match="k must be"):
             exact_top_k(interest, rows, 0, mix=MIX)
+
+
+class TestBatchExactTopK:
+    def test_bit_identical_to_per_query_calls(self):
+        # The batched ranker must not just agree on order: positions AND
+        # float score bits must match the lone-query path, for every
+        # query in the batch, at awkward block boundaries.
+        rows, _, novelty = _clustered(257)
+        rng = np.random.default_rng(7)
+        interests = [rng.normal(size=(m, rows.shape[1]))
+                     for m in (1, 3, 4, 2, 5)]
+        ks = [1, 10, 50, 257, 300]
+        batched = batch_exact_top_k(interests, rows, ks, mix=MIX,
+                                    novelty=novelty, novelty_weight=0.3,
+                                    block_size=13)
+        for interest, k, (positions, scores) in zip(interests, ks, batched):
+            solo_pos, solo_scores = exact_top_k_scored(
+                interest, rows, k, mix=MIX, novelty=novelty,
+                novelty_weight=0.3, block_size=13)
+            assert np.array_equal(positions, solo_pos)
+            assert np.array_equal(scores, solo_scores)  # exact bits
+
+    def test_block_size_never_changes_the_answer(self):
+        rows, _, _ = _clustered(100)
+        rng = np.random.default_rng(11)
+        interests = [rng.normal(size=(2, rows.shape[1])) for _ in range(3)]
+        reference = batch_exact_top_k(interests, rows, [20, 20, 20],
+                                      mix=MIX, block_size=100)
+        for block in (3, 17, 64):
+            got = batch_exact_top_k(interests, rows, [20, 20, 20],
+                                    mix=MIX, block_size=block)
+            for (ref_pos, _), (pos, _) in zip(reference, got):
+                assert np.array_equal(ref_pos, pos)
+
+    def test_empty_batch_and_length_mismatch(self):
+        rows, _, _ = _clustered(10)
+        assert batch_exact_top_k([], rows, [], mix=MIX) == []
+        with pytest.raises(ValueError, match="interest matrices but"):
+            batch_exact_top_k([rows[:2]], rows, [3, 4], mix=MIX)
+
+
+class TestRankCandidates:
+    def test_matches_search_composition(self):
+        # search() == gather() + rank_candidates() — the decomposition
+        # batch_top_k relies on to score IVF probes outside the lock.
+        rows, interest, _ = _clustered(300)
+        index = IVFIndex(n_lists=8, seed=0).fit(rows)
+        for nprobe in (2, 5):
+            direct, _ = index.search(interest, rows, 12, nprobe=nprobe,
+                                     mix=MIX)
+            candidates, _ = index.gather(interest, MIX, nprobe)
+            composed, _ = rank_candidates(interest, rows, candidates, 12,
+                                          mix=MIX)
+            assert np.array_equal(direct, composed)
+
+    def test_candidate_ties_resolve_to_lower_position(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(4, 8))
+        rows = base[np.repeat(np.arange(4), 25)]  # blocks of identical rows
+        interest = rng.normal(size=(2, 8))
+        candidates = np.arange(0, 100, 2)  # even positions only
+        got, _ = rank_candidates(interest, rows, candidates, 30, mix=MIX)
+        scores = MIX * (interest @ rows.T).max(axis=0) \
+            + (1 - MIX) * (interest @ rows.T).mean(axis=0)
+        expect = candidates[np.lexsort((candidates,
+                                        -scores[candidates]))][:30]
+        assert np.array_equal(got, expect)
 
 
 class TestKMeans:

@@ -100,6 +100,53 @@ class TestIvfFlags:
         assert run["meta"]["nprobe"] == 2
 
 
+class TestSchedulerFlags:
+    def test_health_reports_scheduler_check(self, warm_dir, capsys):
+        code = main(["health", "--dir", str(warm_dir), "--scheduler",
+                     "--max-batch", "4", "--queue-depth", "16"])
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(captured.out)
+        check = report["checks"]["scheduler"]
+        assert check["ok"] is True
+        assert check["queue_depth"] == 0
+        assert check["queue_capacity"] == 16
+        assert check["max_batch"] == 4
+        assert check["shed_rate"] == 0.0
+
+    def test_health_without_flag_has_no_scheduler_check(self, warm_dir,
+                                                        capsys):
+        code = main(["health", "--dir", str(warm_dir)])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "scheduler" not in report["checks"]
+
+    def test_loadtest_with_scheduler(self, warm_dir, tmp_path, capsys):
+        code = main(["loadtest", "--dir", str(warm_dir), "--requests", "30",
+                     "--concurrency", "3", "--scheduler",
+                     "--max-batch", "4", "--max-wait-ms", "1.0",
+                     # A threshold no CI box can trip: the shed_rate
+                     # gauge below asserts exactly zero.
+                     "--shed-threshold", "100",
+                     "--out", str(tmp_path / "bench.json"),
+                     "--capture", str(tmp_path / "capture.jsonl"),
+                     "--runs-dir", str(tmp_path / "runs"),
+                     "--run-id", "batched-smoke"])
+        captured = capsys.readouterr()
+        assert code == 0
+        summary = json.loads(captured.out.strip().splitlines()[-1])
+        assert summary["errors"] == 0
+        assert "scheduler: " in captured.err
+        run = json.loads((tmp_path / "runs" / "batched-smoke.json")
+                         .read_text())
+        assert run["meta"]["scheduler"] is True
+        assert run["meta"]["max_batch"] == 4
+        gauges = {m["name"]: m for m in run["metrics"]
+                  if m["kind"] == "gauge"}
+        assert gauges["serve.scheduler.shed_rate"]["value"] == 0.0
+        assert gauges["serve.scheduler.batches"]["value"] >= 1.0
+
+
 class TestParsing:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
