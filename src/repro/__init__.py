@@ -48,6 +48,7 @@ from repro.errors import (
     ReproError,
     RetryExhaustedError,
     ShapeError,
+    WALError,
 )
 
 __version__ = "1.0.0"
@@ -65,5 +66,5 @@ __all__ = [
     # errors
     "ReproError", "ConfigError", "ShapeError", "GraphError", "DataError",
     "NotFittedError", "ConvergenceError", "NumericalError", "InjectedFault",
-    "RetryExhaustedError",
+    "RetryExhaustedError", "WALError",
 ]

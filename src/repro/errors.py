@@ -45,6 +45,18 @@ class SchemaVersionError(ArtifactError):
     """A persisted artifact was written under an incompatible schema."""
 
 
+class WALError(ReproError):
+    """The serving write-ahead log could not be appended to or replayed.
+
+    Raised by :class:`repro.serve.wal.WriteAheadLog` when an append
+    cannot be made durable (I/O failure mid-``fsync``) or when a replay
+    encounters a structurally impossible log (e.g. a sequence-number
+    regression that checksum validation alone cannot explain). A torn
+    *tail* is not an error — it is the expected shape of a crash and is
+    silently dropped under the ``serve.wal.torn_records`` counter.
+    """
+
+
 class NumericalError(ReproError):
     """Training produced non-finite or diverging numerics.
 

@@ -43,7 +43,8 @@ SCHEMA_VERSION = 1
 _LOWER_IS_BETTER = re.compile(
     r"latency|duration|seconds|alloc|degraded|dropped|skipped|underfilled|"
     r"failures|faults|guard\.trips|retries_exhausted|corrupt|rollbacks|"
-    r"errors|error_rate|scan_fraction|[._]shed")
+    r"errors|error_rate|scan_fraction|[._]shed|torn_records|rolled_back|"
+    r"wal\.lag")
 _HIGHER_IS_BETTER = re.compile(r"accuracy|agreement|recall|achieved_qps|"
                                r"throughput")
 #: Keys that measure wall-clock, memory, or machine-dependent rates and

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.obs import config
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Gauge, MetricsRegistry
 from repro.obs.quantiles import Quantile
 
 
@@ -152,8 +152,48 @@ class ErrorRateSLO:
         return self.judge(*self.totals(registry))
 
 
+@dataclass(frozen=True)
+class GaugeBoundSLO:
+    """Upper-bound objective over one gauge metric family.
+
+    "``serve.wal.lag`` stays under 10,000 records" — judged against the
+    *largest* label-set child of the tracked gauge family (a bound met
+    only on average is not met, matching :class:`LatencySLO`). A gauge
+    that has never been set evaluates as ``ok`` with ``no_data=True``.
+    """
+
+    name: str
+    metric: str
+    bound: float
+    description: str = ""
+    kind = "gauge_bound"
+
+    def __post_init__(self) -> None:
+        if self.bound <= 0:
+            raise ValueError(f"bound must be > 0, got {self.bound}")
+
+    def evaluate(self, registry: MetricsRegistry | None = None) -> SLOStatus:
+        """Judge the worst (largest) child of the tracked gauge family."""
+        registry = registry if registry is not None else config.get_registry()
+        worst: float | None = None
+        for child in registry.family(self.metric):
+            if not isinstance(child, Gauge):
+                continue
+            if worst is None or child.value > worst:
+                worst = child.value
+        if worst is None:
+            return SLOStatus(self.name, self.kind, ok=True, observed=None,
+                             target=self.bound, no_data=True,
+                             detail=f"gauge {self.metric!r} never set")
+        return SLOStatus(
+            self.name, self.kind, ok=worst <= self.bound, observed=worst,
+            target=self.bound, burn_rate=worst / self.bound,
+            detail=(f"{self.metric} = {worst:g} vs bound {self.bound:g} "
+                    f"(burn rate {worst / self.bound:.2f})"))
+
+
 #: Anything evaluable as an SLO.
-SLO = LatencySLO | ErrorRateSLO
+SLO = LatencySLO | ErrorRateSLO | GaugeBoundSLO
 
 
 class AlertSink(Protocol):
@@ -302,3 +342,19 @@ def default_serving_slos() -> tuple[SLO, ...]:
                      denominator="serve.queries", budget=0.05,
                      description="under 5% of queries degraded"),
     )
+
+
+def wal_lag_slo(bound: int = 10_000) -> GaugeBoundSLO:
+    """Compaction-lag objective for the serving write-ahead log.
+
+    Registered (non-destructively) by
+    :meth:`repro.serve.index.ServingIndex.attach_wal`: once the
+    ``serve.wal.lag`` gauge crosses *bound* records, ``health()`` and
+    ``python -m repro.serve health`` report a breach — the log has grown
+    past the point where replay-on-restart is cheap, and the operator
+    should run ``python -m repro.serve compact``.
+    """
+    return GaugeBoundSLO("serve.wal.lag", metric="serve.wal.lag",
+                         bound=float(bound),
+                         description=f"WAL under {bound} records "
+                                     "since last compaction")

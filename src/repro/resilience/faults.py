@@ -49,6 +49,9 @@ KNOWN_SITES: dict[str, str] = {
     "trainer.batch": "failure inside one optimisation batch step",
     "serve.query": "failure answering a top-K serving query",
     "serve.ingest": "failure ingesting a new paper into the serving pool",
+    "serve.wal.append": "crash before the write-ahead log records an ingest",
+    "serve.wal.replay": "transient failure reapplying one recovered record",
+    "serve.swap.load": "failure loading a candidate artifact for hot swap",
 }
 
 

@@ -36,7 +36,17 @@ Guarantees:
   bit-identical to serial execution), with a bounded admission queue
   and SLO-driven load-shedding to the TF-IDF degraded path.
 
-CLI: ``python -m repro.serve warmup|query|smoke|health|loadtest``.
+* ingestion survives crashes — :class:`WriteAheadLog`
+  (:mod:`repro.serve.wal`) durably logs every ``add_paper`` before it
+  is applied; a restarted process replays the log
+  (:meth:`ServingIndex.attach_wal`) and reproduces the never-crashed
+  pool bit for bit, and :meth:`ServingIndex.compact` bakes the log
+  into the artifact. :class:`HotSwapper` (:mod:`repro.serve.swap`)
+  adopts a retrained artifact with zero downtime — canary-validated
+  against the live index, rolled back on failure.
+
+CLI: ``python -m repro.serve
+warmup|query|smoke|health|loadtest|compact|swap``.
 """
 
 from repro.serve.ann import (
@@ -54,19 +64,26 @@ from repro.serve.artifacts import (
     load_ann_index,
     load_author_affiliations,
     load_pipeline,
+    load_pool,
     pool_fingerprint,
     save_ann_index,
     save_pipeline,
+    save_pool,
 )
 from repro.serve.index import BatchQueryResult, ServingIndex
 from repro.serve.scheduler import BatchScheduler, SheddingGovernor, Ticket
+from repro.serve.swap import HotSwapper, SwapReport
+from repro.serve.wal import WALRecord, WriteAheadLog
 
 __all__ = [
     "SCHEMA_VERSION",
     "save_pipeline", "load_pipeline", "load_author_affiliations",
     "save_ann_index", "load_ann_index", "has_ann_index", "pool_fingerprint",
+    "save_pool", "load_pool",
     "IVFIndex", "ProbeStats", "exact_top_k", "exact_top_k_scored",
     "batch_exact_top_k", "rank_candidates", "pooled_scores",
     "ServingIndex", "BatchQueryResult",
     "BatchScheduler", "SheddingGovernor", "Ticket",
+    "WriteAheadLog", "WALRecord",
+    "HotSwapper", "SwapReport",
 ]

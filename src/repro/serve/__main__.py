@@ -21,6 +21,19 @@ Commands
     human-readable line per SLO goes to stderr), and exit non-zero when
     unhealthy — a degraded index is serving, but it is not healthy, and
     neither is one breaching a latency or error-budget objective.
+``compact``
+    Replay the ingestion write-ahead log into the artifact: load the
+    artifact with the WAL attached (recovering torn tails, reapplying
+    every durable record), re-save the pipeline plus a
+    ``pool/pool.json`` snapshot, and truncate the log — after which a
+    restart replays nothing and ``serve.wal.lag`` is back to zero.
+``swap``
+    Zero-downtime adoption of a retrained artifact: build the live
+    index (registering the evaluation users), then
+    :class:`~repro.serve.swap.HotSwapper` loads the candidate, replays
+    the live pool onto it, canary-compares golden queries, and either
+    cuts over in place or rolls back (exit 1) leaving the incumbent
+    serving.
 ``loadtest``
     Drive a warm index with a seeded closed- or open-loop workload
     (:mod:`repro.loadgen`): load the artifact when present (fit and
@@ -223,6 +236,14 @@ def cmd_health(args: argparse.Namespace) -> int:
     try:
         index = ServingIndex.from_artifact(args.dir,
                                            retry_attempts=args.retries)
+        if args.wal:
+            # Attach (and replay) the ingestion WAL so the report
+            # carries the "wal" check and the compaction-lag SLO judges
+            # the actual log size — `health --wal` exits 1 when the log
+            # has grown past the lag bound.
+            from repro.serve.wal import WriteAheadLog
+            index.attach_wal(WriteAheadLog(args.wal),
+                             lag_bound=args.wal_lag_bound)
         if args.scheduler:
             # Attach a live scheduler so the report includes the
             # "scheduler" check (queue depth, in-flight batches, shed
@@ -249,6 +270,84 @@ def cmd_health(args: argparse.Namespace) -> int:
         print("UNHEALTHY: see checks above", file=sys.stderr)
         return 1
     return 0
+
+
+def _default_wal(directory: str) -> str:
+    """WAL path convention: a sibling of the artifact directory.
+
+    The log must live *outside* the artifact tree — the manifest
+    checksums every file under the directory, and a log that keeps
+    growing after ``save_pipeline`` would fail verification on the next
+    health probe.
+    """
+    return str(Path(directory).with_name(Path(directory).name + ".wal"))
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.serve.wal import WriteAheadLog
+
+    was_enabled = obs.is_enabled()
+    obs.configure(enabled=True)
+    try:
+        wal_path = args.wal or _default_wal(args.dir)
+        # Attaching replays every durable record (recovering any torn
+        # tail first), so the in-memory pool is exactly what a crashed
+        # server would come back with — that is what gets baked in.
+        index = ServingIndex.from_artifact(
+            args.dir, wal=WriteAheadLog(wal_path),
+            retry_attempts=args.retries, **_index_kwargs(args))
+        if index.degraded:
+            print(f"cannot compact: artifact at {args.dir} is unusable "
+                  f"({index._degraded_reason})", file=sys.stderr)
+            return 2
+        summary = index.compact()
+    finally:
+        obs.configure(enabled=was_enabled)
+    summary["wal"] = wal_path
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"compacted {summary['records_compacted']} WAL records into "
+          f"{summary['directory']} (pool of {summary['pool_size']})",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_swap(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.serve.swap import HotSwapper
+    from repro.serve.wal import WriteAheadLog
+
+    was_enabled = obs.is_enabled()
+    obs.configure(enabled=True)
+    try:
+        task = _reload_task(args.dir)
+        wal = WriteAheadLog(args.wal) if args.wal else None
+        index = ServingIndex.from_artifact(args.dir, papers=task.new_papers,
+                                           wal=wal,
+                                           retry_attempts=args.retries,
+                                           **_index_kwargs(args))
+        if index.degraded:
+            print(f"cannot swap: live artifact at {args.dir} is unusable "
+                  f"({index._degraded_reason})", file=sys.stderr)
+            return 2
+        # The evaluation users double as the canary golden set — both
+        # indexes answer the same queries and must mostly agree.
+        for user in task.users:
+            index.register_user(user.author_id, list(user.train_papers))
+        swapper = HotSwapper(index, golden_k=args.k,
+                             min_overlap=args.min_overlap,
+                             retry_attempts=args.retries)
+        report = swapper.swap(args.candidate)
+    finally:
+        obs.configure(enabled=was_enabled)
+    print(json.dumps(report.snapshot(), indent=2, sort_keys=True))
+    if report.swapped:
+        print(f"swapped to {args.candidate} "
+              f"({report.delta_papers} papers replayed at cutover)",
+              file=sys.stderr)
+        return 0
+    print(f"NOT swapped ({report.outcome}): {report.error}", file=sys.stderr)
+    return 1
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
@@ -405,8 +504,43 @@ def main(argv: list[str] | None = None) -> int:
     health.add_argument("--dir", default="artifacts/serve")
     health.add_argument("--retries", type=int, default=3,
                         help="artifact load attempts before degrading")
+    health.add_argument("--wal", default=None,
+                        help="ingestion WAL to attach; the report then "
+                             "includes the wal check and the "
+                             "serve.wal.lag SLO")
+    health.add_argument("--wal-lag-bound", type=int, default=10_000,
+                        help="max WAL records before the lag SLO breaches")
     _add_scheduler_args(health)
     health.set_defaults(fn=cmd_health)
+
+    compact = sub.add_parser(
+        "compact",
+        help="replay the ingestion WAL into the artifact and truncate it")
+    compact.add_argument("--dir", default="artifacts/serve")
+    compact.add_argument("--wal", default=None,
+                         help="WAL path (default: <dir>.wal, beside the "
+                              "artifact — never inside it)")
+    compact.add_argument("--retries", type=int, default=3)
+    _add_index_args(compact)
+    compact.set_defaults(fn=cmd_compact)
+
+    swap = sub.add_parser(
+        "swap",
+        help="canary-validated zero-downtime swap to a retrained artifact")
+    swap.add_argument("--dir", default="artifacts/serve",
+                      help="live artifact directory")
+    swap.add_argument("--candidate", required=True,
+                      help="retrained artifact directory to adopt")
+    swap.add_argument("--wal", default=None,
+                      help="live ingestion WAL to attach before swapping")
+    swap.add_argument("-k", type=int, default=10,
+                      help="canary query depth (overlap@k)")
+    swap.add_argument("--min-overlap", type=float, default=0.6,
+                      help="mean canary overlap@k floor; below it the "
+                           "swap rolls back")
+    swap.add_argument("--retries", type=int, default=3)
+    _add_index_args(swap)
+    swap.set_defaults(fn=cmd_swap)
 
     loadtest = sub.add_parser(
         "loadtest",

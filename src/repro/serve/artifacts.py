@@ -19,6 +19,8 @@ An artifact is a directory::
                              JTIE profile-text module (only when trained)
     ann/ivf.npz|.json        IVF coarse quantizer over a serving pool
                              (only when saved via save_ann_index)
+    pool/pool.json           serving-pool snapshot in insertion order
+                             (only after a WAL compaction; see save_pool)
 
 Everything that decides a ranking is persisted **exactly** — float64
 arrays through ``.npz``, graph adjacency in insertion order, the sampled
@@ -86,9 +88,27 @@ def _sha256(path: Path) -> str:
 
 
 def _write_json(path: Path, payload: dict) -> None:
+    """Write *payload* as JSON, atomically.
+
+    Same recipe as :func:`repro.data.io.save_corpus`: dump to a
+    same-directory temp file, flush + fsync, then ``os.replace`` over
+    the target. A crash mid-write never leaves a truncated JSON file —
+    in particular a manifest rewrite (:func:`_refresh_manifest`,
+    compaction) either fully lands or leaves the old manifest intact,
+    instead of a half-written one that fails verification with no
+    recovery path.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 def _read_json(path: Path) -> dict:
@@ -111,7 +131,8 @@ def _load_npz(path: Path) -> dict[str, np.ndarray]:
 # ----------------------------------------------------------------------
 def save_pipeline(recommender: NPRecRecommender, directory: str | os.PathLike,
                   corpus: Corpus | None = None,
-                  extra_metadata: dict | None = None) -> Path:
+                  extra_metadata: dict | None = None,
+                  author_affiliations: dict[str, str] | None = None) -> Path:
     """Persist a fitted :class:`NPRecRecommender` to *directory*.
 
     Parameters
@@ -127,6 +148,10 @@ def save_pipeline(recommender: NPRecRecommender, directory: str | os.PathLike,
     extra_metadata:
         Free-form JSON-serialisable dict stored in the manifest (e.g.
         the CLI records corpus scale/seed here).
+    author_affiliations:
+        Pre-harvested ``author id -> affiliation`` map for callers with
+        no corpus at hand (WAL compaction re-saves a live index whose
+        corpus is long gone). *corpus*-harvested entries win on overlap.
 
     Returns
     -------
@@ -154,10 +179,10 @@ def save_pipeline(recommender: NPRecRecommender, directory: str | os.PathLike,
     with obs.trace("serve.save_pipeline", directory=str(root)):
         _write_json(root / "config.json", _config_payload(rec))
         _write_json(root / "graph.json", rec.model.graph.to_payload())
-        affiliations: dict[str, str] = {}
+        affiliations: dict[str, str] = dict(author_affiliations or {})
         if corpus is not None:
-            affiliations = {a.id: a.affiliation for a in corpus.authors
-                            if a.affiliation}
+            affiliations.update({a.id: a.affiliation for a in corpus.authors
+                                 if a.affiliation})
         _write_json(root / "papers.json", {
             "train_papers": [paper_to_dict(p)
                              for p in rec._train_by_id.values()],
@@ -365,6 +390,45 @@ def load_author_affiliations(directory: str | os.PathLike) -> dict[str, str]:
     """The ``author id -> affiliation`` map stored in an artifact."""
     payload = _read_json(Path(directory) / "papers.json")
     return dict(payload.get("author_affiliations", {}))
+
+
+# ----------------------------------------------------------------------
+# Serving-pool snapshot (WAL compaction)
+# ----------------------------------------------------------------------
+def save_pool(directory: str | os.PathLike, papers) -> Path:
+    """Snapshot the serving pool to ``pool/pool.json`` inside an artifact.
+
+    Written (atomically) by :meth:`repro.serve.index.ServingIndex.compact`
+    *before* the pipeline re-save, so the subsequent manifest rewrite
+    covers the snapshot with a checksum like every other payload. Order
+    is preserved — the pool's insertion order decides IVF positions and
+    tie-breaking, so the snapshot must restore it exactly.
+    """
+    root = Path(directory)
+    path = root / "pool" / "pool.json"
+    _write_json(path, {"papers": [paper_to_dict(p) for p in papers]})
+    obs.count("serve.artifact.pool_saved")
+    return path
+
+
+def load_pool(directory: str | os.PathLike) -> list:
+    """Reload the pool snapshot; ``[]`` when the artifact has none.
+
+    Raises :class:`~repro.errors.ArtifactError` for a present-but-corrupt
+    snapshot (callers decide whether that degrades or aborts;
+    :meth:`ServingIndex.from_artifact` counts it and starts without).
+    """
+    path = Path(directory) / "pool" / "pool.json"
+    if not path.is_file():
+        return []
+    try:
+        payload = _read_json(path)
+        return [paper_from_dict(entry) for entry in payload["papers"]]
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+            TypeError) as exc:
+        raise ArtifactError(
+            f"pool snapshot at {path} could not be deserialised: "
+            f"{exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -52,12 +52,15 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro import obs
-from repro.obs.slo import default_serving_slos, evaluate_registered, register_slo
+from repro.obs.slo import (default_serving_slos, evaluate_registered,
+                           register_slo, wal_lag_slo)
 from repro.baselines.content import TfIdfIndex
 from repro.core.nprec.recommend import NPRecRecommender
+from repro.data.io import paper_from_dict
 from repro.data.schema import Paper
 from repro.errors import (ArtifactError, GraphError, InjectedFault,
-                          NotFittedError, RetryExhaustedError)
+                          NotFittedError, ReproError, RetryExhaustedError,
+                          WALError)
 from repro.graph.builder import attach_paper_to_network
 from repro.resilience import faults
 from repro.resilience.retry import Backoff, retry
@@ -66,6 +69,7 @@ from repro.serve.ann import (IVFIndex, batch_exact_top_k, exact_top_k,
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.scheduler import BatchScheduler
+    from repro.serve.wal import WALRecord, WriteAheadLog
 
 #: Initial influence-buffer capacity (rows); doubles on overflow, so
 #: ingesting n papers copies O(n) floats total instead of O(n^2).
@@ -209,6 +213,13 @@ class ServingIndex:
         self._pool_version = 0
         #: Attached micro-batching scheduler, reported by health().
         self._scheduler: "BatchScheduler | None" = None
+        #: Attached write-ahead log (see attach_wal); while it is set,
+        #: every add_paper is durably logged before it is applied.
+        self._wal: "WriteAheadLog | None" = None
+        # True only while attach_wal replays recovered records: the
+        # replayed ingests are *already* in the log and must not be
+        # re-appended.
+        self._wal_replaying = False
         # Serialises pool mutation and retrieval so the index can be
         # driven from concurrent threads (the repro.loadgen closed
         # loop). Reentrant: add_paper at construction time and health
@@ -305,7 +316,8 @@ class ServingIndex:
                       block_size: int = 512, cache_size: int = 128,
                       retry_attempts: int = 3, index: str = "exact",
                       nprobe: int = 8, n_lists: int | None = None,
-                      ann_seed: int = 0) -> "ServingIndex":
+                      ann_seed: int = 0, wal: "WriteAheadLog | None" = None,
+                      wal_lag_bound: int = 10_000) -> "ServingIndex":
         """Build an index from a saved artifact, degrading on failure.
 
         The load is retried *retry_attempts* times with deterministic
@@ -318,6 +330,14 @@ class ServingIndex:
         attempt log stays inspectable on the returned index (and in the
         :meth:`health` report).
 
+        A pool snapshot persisted by :meth:`compact`
+        (``pool/pool.json``) is merged into *papers* — snapshot order
+        first, then any *papers* not already in it — so compacted
+        ingests survive restarts with no WAL records left to replay.
+        Passing *wal* attaches (and replays) a write-ahead log via
+        :meth:`attach_wal` after construction, making the index durable
+        end to end in one call.
+
         With ``index="ivf"``, a quantizer persisted next to the
         pipeline (:func:`repro.serve.artifacts.save_ann_index`) is
         adopted when its pool fingerprint matches *papers* — warmup
@@ -327,7 +347,22 @@ class ServingIndex:
         """
         from repro.serve.artifacts import (load_ann_index,
                                            load_author_affiliations,
-                                           load_pipeline, pool_fingerprint)
+                                           load_pipeline, load_pool,
+                                           pool_fingerprint)
+
+        try:
+            snapshot = load_pool(directory)
+        except (ArtifactError, OSError, ValueError):
+            snapshot = []
+            obs.count("serve.artifact.pool", outcome="corrupt")
+        else:
+            if snapshot:
+                obs.count("serve.artifact.pool", outcome="loaded")
+        if snapshot:
+            merged: "dict[str, Paper]" = {p.id: p for p in snapshot}
+            for paper in papers:
+                merged.setdefault(paper.id, paper)
+            papers = list(merged.values())
 
         @retry(attempts=retry_attempts, backoff=Backoff(base=0.02),
                retry_on=(ArtifactError, InjectedFault, RetryExhaustedError,
@@ -343,14 +378,16 @@ class ServingIndex:
             obs.event("serve.degraded", reason="artifact_load_failed")
             obs.count("serve.artifact.load_failures")
             with obs.trace("serve.degraded_startup", error=str(exc)):
-                index = cls(None, papers, block_size=block_size,
-                            cache_size=cache_size, index=index,
-                            nprobe=nprobe, n_lists=n_lists,
-                            ann_seed=ann_seed)
-            index._artifact_dir = Path(directory)
-            index._degraded_reason = "artifact_load_failed"
-            index._last_load_error = exc
-            return index
+                degraded = cls(None, papers, block_size=block_size,
+                               cache_size=cache_size, index=index,
+                               nprobe=nprobe, n_lists=n_lists,
+                               ann_seed=ann_seed)
+            degraded._artifact_dir = Path(directory)
+            degraded._degraded_reason = "artifact_load_failed"
+            degraded._last_load_error = exc
+            if wal is not None:
+                degraded.attach_wal(wal, lag_bound=wal_lag_bound)
+            return degraded
         built = cls(recommender, papers, author_affiliations=affiliations,
                     block_size=block_size, cache_size=cache_size,
                     index=index, nprobe=nprobe, n_lists=n_lists,
@@ -370,6 +407,12 @@ class ServingIndex:
                     # Stale fingerprint: the serving pool is not the one
                     # the quantizer was built over; refit lazily.
                     obs.count("serve.ann.artifact", outcome="stale")
+        if wal is not None:
+            # After ANN adoption on purpose: replayed ingests must route
+            # through the adopted quantizer's incremental add path —
+            # exactly like the live ingests they reproduce — not force a
+            # stale-fingerprint refit.
+            built.attach_wal(wal, lag_bound=wal_lag_bound)
         return built
 
     # ------------------------------------------------------------------
@@ -399,6 +442,7 @@ class ServingIndex:
                     if paper.id in self._positions:
                         raise ValueError(
                             f"paper {paper.id!r} is already in the pool")
+                    self._wal_log(paper)
                     self._append(paper, None)
                     obs.count("serve.papers_ingested", mode="degraded")
                     self._invalidate()
@@ -428,6 +472,12 @@ class ServingIndex:
                 if paper.id in self._positions:
                     raise ValueError(
                         f"paper {paper.id!r} is already in the pool")
+                # Write-ahead: the record must be durable *before* any
+                # graph/model/pool mutation, so a crash at any later
+                # point leaves an ingest that replay will redo — and a
+                # crash here (the serve.wal.append fault site) leaves
+                # no record, no mutation, and no acknowledgement.
+                self._wal_log(paper)
                 if ("paper", paper.id) in graph:
                     # Known to the model (e.g. a fit-time paper joining the
                     # pool late): no graph/model mutation needed.
@@ -490,6 +540,174 @@ class ServingIndex:
             return text_vector, content_vector
 
         return _prepare()
+
+    # ------------------------------------------------------------------
+    # Durability: write-ahead log
+    # ------------------------------------------------------------------
+    @property
+    def wal(self) -> "WriteAheadLog | None":
+        """The attached write-ahead log, when ingestion is durable."""
+        return self._wal
+
+    def _wal_log(self, paper: Paper) -> None:
+        """Durably log one ingest-to-be (no-op without a WAL / in replay)."""
+        if self._wal is not None and not self._wal_replaying:
+            self._wal.append(paper, self._pool_version)
+
+    def attach_wal(self, wal: "WriteAheadLog", replay: bool = True,
+                   lag_bound: int = 10_000) -> int:
+        """Attach *wal*, recover it, and replay its records into the pool.
+
+        From here on every successful :meth:`add_paper` appends a
+        checksummed record to *wal* — fsync'd **before** the mutation is
+        applied or acknowledged — so a restarted process can call
+        ``attach_wal`` on the same log file and reproduce the
+        never-crashed process' pool bit for bit (the artifact persists
+        the field-sampler RNG state, and replay drives the exact same
+        ingestion call sequence).
+
+        Recovery drops torn-tail records (see
+        :meth:`repro.serve.wal.WriteAheadLog.recover`); replay applies
+        the surviving records in append order through the normal
+        ingestion path, skipping papers already in the pool (idempotent
+        after :meth:`compact`). Each replayed record passes the
+        ``serve.wal.replay`` fault site inside a 3-attempt retry;
+        exhaustion raises :class:`~repro.errors.WALError` — an
+        acknowledged ingest that cannot be reapplied is data loss, and
+        startup fails loudly rather than serving a silently shrunken
+        pool. Outcomes are counted under
+        ``serve.wal.replayed{outcome=applied|skipped|failed}``.
+
+        Also registers the compaction-lag objective
+        (:func:`repro.obs.slo.wal_lag_slo` with *lag_bound*) so
+        :meth:`health` pages when the log outgrows cheap replay.
+
+        Returns the number of records applied.
+        """
+        with self._serve_lock:
+            records = wal.recover()
+            self._wal = wal
+            applied = self._replay_wal(records) if replay else 0
+            obs.gauge("serve.wal.lag", float(wal.lag))
+        # replace=True so the *lag_bound* passed here always wins — a
+        # stale registration from an earlier attach (different bound)
+        # must not silently override the operator's current choice.
+        register_slo(wal_lag_slo(bound=lag_bound))
+        return applied
+
+    def _replay_wal(self, records: "Sequence[WALRecord]") -> int:
+        """Reapply recovered WAL records in order; returns applied count."""
+        applied = 0
+        self._wal_replaying = True
+        try:
+            with obs.trace("serve.wal.replay", records=len(records)) as span:
+                for record in records:
+                    if record.paper.get("id") in self._positions:
+                        obs.count("serve.wal.replayed", outcome="skipped")
+                        continue
+                    paper = paper_from_dict(record.paper)
+
+                    @retry(attempts=3, backoff=Backoff(base=0.02),
+                           retry_on=(InjectedFault,), name="serve.wal.replay")
+                    def _apply(paper: Paper = paper) -> None:
+                        faults.maybe_fail("serve.wal.replay")
+                        self.add_paper(paper)
+
+                    try:
+                        _apply()
+                    except ReproError as exc:
+                        obs.count("serve.wal.replayed", outcome="failed")
+                        raise WALError(
+                            f"replay of WAL record #{record.seq} (paper "
+                            f"{record.paper.get('id')!r}) failed — the log "
+                            f"acknowledged this ingest, refusing to serve "
+                            f"without it: {exc}") from exc
+                    obs.count("serve.wal.replayed", outcome="applied")
+                    applied += 1
+                span.set("applied", applied)
+        finally:
+            self._wal_replaying = False
+        return applied
+
+    def compact(self, directory: "str | Path | None" = None) -> dict:
+        """Bake WAL-covered mutations into the artifact; truncate the log.
+
+        Under ``_serve_lock``: snapshots the serving pool to
+        ``pool/pool.json`` (:func:`repro.serve.artifacts.save_pool`),
+        re-saves the pipeline — whose graph/model/field-sampler state
+        already contains every WAL-covered ingest — and only *then*
+        truncates the log, so a crash at any point during compaction
+        still recovers (worst case: the old artifact plus a full log).
+        A restarted :meth:`from_artifact` merges ``pool/pool.json`` with
+        its ``papers`` argument, so compacted ingests survive without
+        any WAL records.
+
+        *directory* defaults to the artifact directory the index was
+        loaded from. Returns a summary dict (records compacted, pool
+        size, directory).
+        """
+        from repro.serve.artifacts import (MANIFEST_NAME, _refresh_manifest,
+                                           save_pipeline, save_pool)
+        with self._serve_lock:
+            if self._wal is None:
+                raise WALError("compact() needs an attached write-ahead log "
+                               "(call attach_wal first)")
+            target = Path(directory) if directory is not None \
+                else self._artifact_dir
+            if target is None:
+                raise WALError("compact() needs an artifact directory: the "
+                               "index was not loaded from one, so pass "
+                               "directory= explicitly")
+            with obs.trace("serve.wal.compact", records=self._wal.lag,
+                           pool=self.num_papers):
+                save_pool(target, self._papers)
+                if not self.degraded:
+                    save_pipeline(self._recommender, target,
+                                  author_affiliations=self._affiliations)
+                elif (target / MANIFEST_NAME).exists():
+                    _refresh_manifest(target)
+                dropped = self._wal.truncate()
+            self._artifact_dir = target
+            pool_size = self.num_papers
+        return {"records_compacted": dropped, "pool_size": pool_size,
+                "directory": str(target)}
+
+    def _adopt(self, donor: "ServingIndex") -> None:
+        """Transplant *donor*'s pool/model state into this index in place.
+
+        The hot-swap cutover primitive (:class:`repro.serve.swap.
+        HotSwapper`): callers everywhere hold references to *this*
+        index object — the scheduler, the CLI, the load generator — so
+        the swap mutates it under ``_serve_lock`` instead of handing
+        out a new object. Serving-surface configuration (block size,
+        cache capacity, retrieval strategy, attached scheduler, WAL)
+        stays this index's own; everything the donor computed — model,
+        pool, influence matrix, quantizer, profiles, fallback — moves
+        over. The cache is dropped and the pool version bumped past
+        both indexes so any in-flight batch publishes nothing stale.
+        """
+        with self._serve_lock:
+            self._recommender = donor._recommender
+            self._affiliations = donor._affiliations
+            self._papers = donor._papers
+            self._ids = donor._ids
+            self._positions = donor._positions
+            self._influence_buffer = donor._influence_buffer
+            self._influence_count = donor._influence_count
+            self._ann = donor._ann
+            self._n_lists = donor._n_lists
+            self._ann_seed = donor._ann_seed
+            self._novelty_raw = donor._novelty_raw
+            self._novelty_z = donor._novelty_z
+            self._profiles = donor._profiles
+            self._fallback_tfidf = donor._fallback_tfidf
+            self._fallback_matrix = donor._fallback_matrix
+            self._artifact_dir = donor._artifact_dir
+            self._degraded_reason = donor._degraded_reason
+            self._last_load_error = donor._last_load_error
+            self._cache.clear()
+            self._pool_version = max(self._pool_version,
+                                     donor._pool_version) + 1
 
     def register_user(self, user_id: str, user_papers: Sequence[Paper]) -> None:
         """Precompute and store the interest profile of one user.
@@ -1075,6 +1293,19 @@ class ServingIndex:
                 "ok": not (saturated or stats["shedding"]),
                 "saturated": bool(saturated),
                 **stats,
+            }
+
+        # Attached write-ahead log: structural state (lag, torn records
+        # dropped at last recovery) plus a gauge refresh so the
+        # compaction-lag SLO below judges the *current* log size even
+        # when obs was enabled after the appends happened.
+        if self._wal is not None:
+            obs.gauge("serve.wal.lag", float(self._wal.lag))
+            checks["wal"] = {
+                "ok": True,
+                "path": str(self._wal.path),
+                "lag": int(self._wal.lag),
+                "torn_records": int(self._wal.torn_records),
             }
 
         # Registered SLOs (latency quantiles, error budgets) close the

@@ -42,6 +42,7 @@ of the clock, with no background thread racing the assertions.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from collections import deque
@@ -226,6 +227,7 @@ class BatchScheduler:
         self._stats_lock = threading.Lock()
         self._closed = False
         self._stopping = False
+        self._quiesced = False
         self._in_flight = 0
         self._submitted = 0
         self._batches = 0
@@ -266,6 +268,17 @@ class BatchScheduler:
         if self.governor.burning():
             return self._shed(user, k, "slo_burn")
         with self._cv:
+            # A quiesce barrier (hot swap in progress) parks new misses
+            # here until the barrier lifts: the request is neither
+            # failed nor shed, it just answers against whichever index
+            # state wins the swap.
+            while self._quiesced and not self._closed:
+                self._cv.wait(timeout=0.05)
+            # Re-checked under the lock: a submit racing close() must
+            # not enqueue a ticket after the flusher drained and exited
+            # — that ticket would never resolve.
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
             if len(self._queue) < self.queue_depth:
                 ticket = Ticket(user, k, self._clock(),
                                 obs.current_trace_id())
@@ -330,7 +343,8 @@ class BatchScheduler:
                     now = self._clock()
                     age = now - self._queue[0].enqueued
                     if (len(self._queue) >= self.max_batch
-                            or self._stopping or age >= self.max_wait):
+                            or self._stopping or self._quiesced
+                            or age >= self.max_wait):
                         return self._take_locked()
                     self._cv.wait(timeout=max(self.max_wait - age, 1e-4))
                 else:
@@ -340,6 +354,13 @@ class BatchScheduler:
         batch = []
         while self._queue and len(batch) < self.max_batch:
             batch.append(self._queue.popleft())
+        if batch:
+            # Counted in flight while the queue lock is still held, so
+            # a quiesce barrier can never observe "queue empty, nothing
+            # in flight" in the gap between a batch being taken off the
+            # queue and _execute starting on it.
+            with self._stats_lock:
+                self._in_flight += 1
         return batch
 
     def pump(self) -> int:
@@ -356,15 +377,16 @@ class BatchScheduler:
                 return 0
             age = self._clock() - self._queue[0].enqueued
             if not (len(self._queue) >= self.max_batch
-                    or self._stopping or age >= self.max_wait):
+                    or self._stopping or self._quiesced
+                    or age >= self.max_wait):
                 return 0
             batch = self._take_locked()
         self._execute(batch)
         return len(batch)
 
     def _execute(self, batch: "list[Ticket]") -> None:
-        with self._stats_lock:
-            self._in_flight += 1
+        # _in_flight was incremented in _take_locked (under _cv), so the
+        # batch is visible to a quiesce barrier for its whole lifetime.
         try:
             now = self._clock()
             obs.observe("serve.batch.size", float(len(batch)))
@@ -417,9 +439,63 @@ class BatchScheduler:
             "shed_by_reason": by_reason,
             "shed_rate": (shed / submitted) if submitted else 0.0,
             "shedding": self.governor.burning(),
+            "quiesced": self._quiesced,
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait * 1000.0,
         }
+
+    @contextlib.contextmanager
+    def quiesce(self, timeout: float = 30.0):
+        """Drain barrier: no request is mid-batch while the body runs.
+
+        Needed because :meth:`ServingIndex.batch_top_k` scores *outside*
+        the serving lock and re-reads index internals (``_ids``) at
+        publish time — an index whose internals are swapped mid-batch
+        could pair old-matrix positions with new ids. Holding
+        ``_serve_lock`` alone cannot exclude that; the barrier can.
+
+        On entry: new cache-missing submits park (un-failed, un-shed)
+        until the barrier lifts; the flusher drains the already-admitted
+        queue immediately (a quiesce makes every queued request "due");
+        the barrier then waits until the queue is empty and no batch is
+        in flight. In manual mode (``start=False``) the queue is drained
+        inline. Cache hits and governor sheds keep flowing throughout —
+        they never read the internals a swap replaces mid-computation.
+
+        Raises :class:`TimeoutError` when the drain does not settle
+        within *timeout* seconds (the barrier is lifted first).
+        """
+        with self._cv:
+            self._quiesced = True
+            self._cv.notify_all()
+        try:
+            if self._thread is None:
+                while True:
+                    with self._cv:
+                        batch = self._take_locked()
+                    if not batch:
+                        break
+                    self._execute(batch)
+            deadline = time.monotonic() + timeout
+            while True:
+                with self._cv:
+                    empty = not self._queue
+                # Bare int read on purpose: taking _stats_lock here
+                # while polling under the barrier would order-invert
+                # against _take_locked's _cv -> _stats_lock.
+                if empty and self._in_flight == 0:
+                    break
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"scheduler did not quiesce within {timeout}s "
+                        f"(queue={len(self._queue)}, "
+                        f"in_flight={self._in_flight})")
+                time.sleep(0.001)
+            yield self
+        finally:
+            with self._cv:
+                self._quiesced = False
+                self._cv.notify_all()
 
     def close(self, drain: bool = True) -> None:
         """Stop accepting work and settle every admitted request.

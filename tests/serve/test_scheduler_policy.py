@@ -10,6 +10,9 @@ and recovers) is asserted exactly, with no background thread and no
 real sleeps.
 """
 
+import threading
+import time
+
 import pytest
 
 from repro import obs
@@ -233,6 +236,35 @@ class TestLifecycle:
         with pytest.raises(RuntimeError, match="before flush"):
             ticket.result(timeout=1)
 
+    def test_submit_racing_close_raises_instead_of_stranding(self, index,
+                                                             users):
+        # A submit that enters while close() is tearing the scheduler
+        # down must raise — enqueueing after the flusher drained would
+        # strand a ticket that never resolves. The quiesce park is the
+        # window: the submit waits inside the lock, close() flips
+        # _closed, and the woken submit must re-check it.
+        clock = FakeClock()
+        scheduler = _manual(index, clock, max_batch=8, max_wait_ms=1000.0)
+        with scheduler._cv:
+            scheduler._quiesced = True  # hold the submit in the park loop
+        outcome = []
+
+        def late_submit():
+            try:
+                outcome.append(scheduler.submit(users[0], 4))
+            except RuntimeError as exc:
+                outcome.append(exc)
+
+        thread = threading.Thread(target=late_submit)
+        thread.start()
+        time.sleep(0.05)                      # the submit is parked
+        assert not outcome
+        scheduler.close()                     # races the parked submit
+        thread.join(timeout=5)
+        assert len(outcome) == 1
+        assert isinstance(outcome[0], RuntimeError)
+        assert "closed" in str(outcome[0])
+
     def test_context_manager_and_validation(self, index, users):
         with BatchScheduler(index, max_batch=2, max_wait_ms=2.0) as scheduler:
             assert index.scheduler is scheduler
@@ -242,3 +274,52 @@ class TestLifecycle:
             BatchScheduler(index, max_batch=0)
         with pytest.raises(ValueError, match="queue_depth"):
             BatchScheduler(index, queue_depth=0)
+
+
+class TestQuiesce:
+    def test_barrier_drains_queued_requests_first(self, index, users):
+        clock = FakeClock()
+        scheduler = _manual(index, clock, max_batch=8, max_wait_ms=1000.0)
+        tickets = [scheduler.submit(users[i], 4) for i in range(3)]
+        assert scheduler.pump() == 0          # not due under normal policy
+        with scheduler.quiesce(timeout=5):
+            # Entering the barrier made the queue due and drained it
+            # inline (manual mode): nothing is queued or in flight.
+            assert all(t.done for t in tickets)
+            assert scheduler.stats()["queue_depth"] == 0
+            assert scheduler.stats()["in_flight"] == 0
+            assert scheduler.stats()["quiesced"]
+        assert not scheduler.stats()["quiesced"]
+        scheduler.close()
+
+    def test_new_misses_park_until_the_barrier_lifts(self, index, users):
+        clock = FakeClock()
+        scheduler = _manual(index, clock, max_batch=8, max_wait_ms=0.0)
+        parked = []
+
+        with scheduler.quiesce(timeout=5):
+            thread = threading.Thread(
+                target=lambda: parked.append(scheduler.submit(users[0], 4)))
+            thread.start()
+            time.sleep(0.05)
+            # Parked: neither admitted, failed, nor shed — it waits for
+            # whichever index state wins the swap.
+            assert not parked
+            assert scheduler.stats()["queue_depth"] == 0
+        thread.join(timeout=5)
+        assert len(parked) == 1 and not parked[0].shed
+        assert scheduler.pump() == 1          # max_wait 0: due immediately
+        assert parked[0].result(timeout=1).ids == index.top_k(users[0], 4)
+        scheduler.close()
+
+    def test_cache_hits_flow_through_the_barrier(self, index, users):
+        clock = FakeClock()
+        scheduler = _manual(index, clock, max_batch=8, max_wait_ms=0.0)
+        warm = scheduler.submit(users[0], 5)
+        scheduler.pump()
+        warm.result(timeout=1)
+        with scheduler.quiesce(timeout=5):
+            hit = scheduler.submit(users[0], 5)
+            assert hit.done and hit.cache == "hit"
+            assert hit.ids == warm.ids
+        scheduler.close()

@@ -1,0 +1,192 @@
+"""Hot-swap: canary-gated cutover, rollback, and zero failed requests.
+
+The contract under test: a successful swap transplants the candidate's
+state into the live index *in place* (every caller keeps its reference);
+a failed canary or load leaves the incumbent untouched; and a swap under
+concurrent scheduler traffic completes with zero failed in-flight
+requests — parked submits answer against whichever index wins.
+"""
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro import obs
+from repro.resilience import faults
+from repro.serve import (BatchScheduler, HotSwapper, ServingIndex,
+                         WriteAheadLog, save_pipeline)
+
+
+@pytest.fixture()
+def candidate_dir(tmp_path, serve_task, fitted_recommender):
+    """A second (retrained-equivalent) artifact to swap to."""
+    directory = tmp_path / "candidate"
+    save_pipeline(fitted_recommender, directory, corpus=serve_task.corpus)
+    return directory
+
+
+def _live(artifact, serve_task, n_users=3, **kwargs):
+    directory, _ = artifact
+    index = ServingIndex.from_artifact(
+        directory, papers=list(serve_task.new_papers), **kwargs)
+    for user in serve_task.users[:n_users]:
+        index.register_user(user.author_id, list(user.train_papers))
+    return index
+
+
+class TestSwapOutcomes:
+    def test_successful_swap_adopts_in_place(self, artifact, serve_task,
+                                             candidate_dir, tmp_path,
+                                             obs_enabled):
+        live = _live(artifact, serve_task)
+        live.attach_wal(WriteAheadLog(tmp_path / "ingest.wal"))
+        template = serve_task.users[0].train_papers[-1]
+        ingested = dataclasses.replace(template, id="swap-ingested",
+                                       references=(), citation_count=0)
+        live.add_paper(ingested)
+        old_model = live._recommender
+        wal = live.wal
+
+        report = HotSwapper(live).swap(candidate_dir)
+        assert report.swapped, report.error
+        assert report.overlaps and report.mean_overlap >= 0.6
+        # In-place adoption: same object, new internals, new artifact.
+        assert live._artifact_dir == candidate_dir
+        assert live._recommender is not old_model
+        # The post-artifact ingest survived: it rode the pool snapshot
+        # into the candidate.
+        assert ingested.id in live._positions
+        assert not live.degraded
+        user = serve_task.users[0]
+        assert len(live.top_k(user.author_id, 10)) == 10
+        # The WAL stays attached and untouched — its records cover
+        # ingests the new artifact has not compacted either.
+        assert live.wal is wal and live.wal.lag == 1
+
+        counter = obs.get_registry().get("serve.swap", outcome="swapped")
+        assert counter is not None and counter.value == 1
+
+    def test_low_canary_overlap_rolls_back(self, artifact, serve_task,
+                                           candidate_dir, monkeypatch,
+                                           obs_enabled):
+        live = _live(artifact, serve_task)
+        old_model = live._recommender
+        baseline = live.top_k(serve_task.users[0].author_id, 10)
+        # The live index answers garbage the candidate cannot match:
+        # overlap@k is 0 for every golden user.
+        monkeypatch.setattr(
+            live, "top_k",
+            lambda user, k=10: [f"not-a-real-paper-{i}" for i in range(k)])
+
+        report = HotSwapper(live, min_overlap=0.6).swap(candidate_dir)
+        assert report.outcome == "rolled_back"
+        assert report.mean_overlap == 0.0
+        assert "overlap" in report.error
+        monkeypatch.undo()
+        # Rollback is inaction: the incumbent still serves, unchanged.
+        assert live._recommender is old_model
+        assert live._artifact_dir != candidate_dir
+        assert live.top_k(serve_task.users[0].author_id, 10) == baseline
+
+        counter = obs.get_registry().get("serve.swap", outcome="rolled_back")
+        assert counter is not None and counter.value == 1
+        events = [e for e in obs.events() if e.get("type") == "event"
+                  and e.get("name") == "serve.swap"]
+        assert len(events) == 1
+        assert events[0]["outcome"] == "rolled_back"
+        assert events[0]["trace_id"]  # joined to the swap request trace
+
+    def test_failed_structural_health_rolls_back(self, artifact, serve_task,
+                                                 candidate_dir, monkeypatch):
+        live = _live(artifact, serve_task)
+        old_model = live._recommender
+        monkeypatch.setattr(
+            ServingIndex, "health",
+            lambda self, probe=True: {
+                "degraded": False,
+                "checks": {"artifact": {"ok": False, "error": "boom"}}})
+
+        report = HotSwapper(live).swap(candidate_dir)
+        assert report.outcome == "rolled_back"
+        assert report.failed_checks == ["artifact"]
+        assert live._recommender is old_model
+
+    def test_unloadable_candidate_is_load_failed(self, artifact, serve_task,
+                                                 tmp_path, obs_enabled):
+        live = _live(artifact, serve_task)
+        old_model = live._recommender
+        report = HotSwapper(live, retry_attempts=2).swap(tmp_path / "nope")
+        assert report.outcome == "load_failed"
+        assert "degraded" in report.error
+        assert live._recommender is old_model
+
+        counter = obs.get_registry().get("serve.swap", outcome="load_failed")
+        assert counter is not None and counter.value == 1
+
+    def test_injected_load_faults_exhaust_to_load_failed(
+            self, artifact, serve_task, candidate_dir):
+        live = _live(artifact, serve_task)
+        with faults.inject("serve.swap.load:1.0:5"):
+            report = HotSwapper(live, retry_attempts=2).swap(candidate_dir)
+        assert report.outcome == "load_failed"
+        # And the very same candidate swaps fine once the fault clears.
+        report = HotSwapper(live).swap(candidate_dir)
+        assert report.swapped, report.error
+
+
+class TestSwapUnderLoad:
+    def test_zero_failed_requests_across_a_swap(self, artifact, serve_task,
+                                                candidate_dir):
+        # A degraded live index keeps the traffic cheap; the swap then
+        # *upgrades* it to the modelled candidate mid-stream.
+        live = ServingIndex(None, papers=list(serve_task.new_papers))
+        users = []
+        for user in serve_task.users[:3]:
+            live.register_user(user.author_id, list(user.train_papers))
+            users.append(user.author_id)
+        scheduler = BatchScheduler(live, max_batch=4, max_wait_ms=1.0,
+                                   queue_depth=256)
+        # min_overlap=0 on purpose: TF-IDF answers vs modelled answers
+        # need not agree — the gate under test is the drain barrier.
+        swapper = HotSwapper(live, min_overlap=0.0)
+
+        tickets, submit_errors = [], []
+        stop = threading.Event()
+
+        def pound(worker: int) -> None:
+            i = 0
+            while not stop.is_set():
+                try:
+                    tickets.append(scheduler.submit(
+                        users[(worker + i) % len(users)], 5 + (i % 17)))
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    submit_errors.append(exc)
+                    return
+                i += 1
+
+        threads = [threading.Thread(target=pound, args=(n,))
+                   for n in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            report = swapper.swap(candidate_dir)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert report.swapped, report.error
+        assert not submit_errors
+        assert not live.degraded  # the swap healed the degraded index
+
+        # Zero failed in-flight requests: every admitted ticket resolves
+        # (served or shed — never errored, never stranded by the swap).
+        scheduler.close()
+        assert tickets
+        for ticket in tickets:
+            result = ticket.result(timeout=10)
+            assert result.error is None
+        # And post-swap traffic answers through the scheduler as usual.
+        with pytest.raises(RuntimeError):
+            scheduler.submit(users[0], 5)  # closed above
+        assert len(live.top_k(users[0], 10)) == 10

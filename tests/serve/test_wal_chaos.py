@@ -1,0 +1,93 @@
+"""Crash-and-recover chaos loop for the ingestion WAL.
+
+Runs as its own CI step (see ``.github/workflows/ci.yml``): the
+``serve.wal.append`` fault site is the canonical simulated crash and is
+deliberately *not* retried, so it lives outside the shared chaos wall —
+an append-site plan mixed into unrelated suites would fail honest
+ingestion tests at random.
+
+When the active fault plan targets ``serve.wal.append`` (the CI
+crash-and-recover step exports ``serve.wal.append:0.05:17``) that plan
+drives the crashes; under any other plan — including the shared chaos
+wall, whose sites never touch this path — the same pinned plan is
+injected here instead, so the test crashes (and means the same thing)
+everywhere it runs.
+
+The loop is the durability contract end to end: every *acknowledged*
+ingest must survive any number of crashes and restarts; every *crashed*
+ingest must vanish without a trace (no record, no pool entry, no ack).
+The client retries crashed ingests exactly like a real writer would.
+"""
+
+import contextlib
+import dataclasses
+
+from repro.errors import InjectedFault
+from repro.serve import ServingIndex, WriteAheadLog
+
+_PLAN = "serve.wal.append:0.05:17"
+
+
+def _restart(pool, wal_path):
+    """Simulate a process restart: fresh index, replayed log."""
+    index = ServingIndex(None, papers=list(pool))
+    index.attach_wal(WriteAheadLog(wal_path))
+    return index
+
+
+def test_crash_and_recover_loop(tmp_path, serve_task):
+    from repro.resilience import faults
+
+    pool = list(serve_task.new_papers)
+    wal_path = tmp_path / "ingest.wal"
+    papers = []
+    for i in range(40):
+        template = serve_task.new_papers[i % len(serve_task.new_papers)]
+        papers.append(dataclasses.replace(
+            template, id=f"chaos-{i}", references=(), citation_count=0))
+
+    active = faults.active()
+    append_rule = active.rules.get("serve.wal.append") if active else None
+    with contextlib.ExitStack() as stack:
+        if append_rule is None or append_rule.probability <= 0:
+            stack.enter_context(faults.inject(_PLAN))
+        # Degraded (TF-IDF only) index: the WAL/recovery machinery under
+        # test is identical to the modelled path, and 40 ingests with
+        # restarts stay in milliseconds.
+        index = _restart(pool, wal_path)
+        acked = []
+        crashes = 0
+        for paper in papers:
+            while True:
+                try:
+                    index.add_paper(paper)
+                except InjectedFault:
+                    # The crash: nothing was logged, nothing applied,
+                    # nothing acknowledged. A real dying process can
+                    # also leave a half-written record behind — emulate
+                    # the worst case, then restart and replay.
+                    crashes += 1
+                    if wal_path.exists():
+                        with open(wal_path, "ab") as handle:
+                            handle.write(b'{"seq": 999, "torn')
+                    index = _restart(pool, wal_path)
+                    assert len(index._positions) == len(pool) + len(acked)
+                else:
+                    acked.append(paper.id)
+                    break
+
+    # Final restart outside any fault plan: the recovered pool is
+    # exactly the base pool plus every acknowledged ingest — no more,
+    # no less — and the log replays clean.
+    final = _restart(pool, wal_path)
+    assert final.wal.lag == len(acked)
+    assert sorted(pid for pid in final._positions
+                  if pid.startswith("chaos-")) == sorted(acked)
+    assert set(acked) == {p.id for p in papers}
+    user = serve_task.users[0]
+    final.register_user(user.author_id, list(user.train_papers))
+    assert len(final.top_k(user.author_id, 10)) == 10
+    # With rate 0.05 over 40+ draws the seeded plan crashes at least
+    # once in CI (seed 17 is pinned there); locally the injected plan
+    # matches, so the loop provably exercised recovery.
+    assert crashes >= 1
