@@ -59,6 +59,8 @@ class RunSummary:
     errors_by_kind: dict[str, int] = field(default_factory=dict)
     slo_statuses: list[SLOStatus] = field(default_factory=list)
     slo_checks: int = 0
+    ops_scrapes: int = 0
+    ops_scrape_errors: int = 0
 
     @property
     def achieved_qps(self) -> float:
@@ -82,6 +84,8 @@ class RunSummary:
             "errors_by_kind": dict(sorted(self.errors_by_kind.items())),
             "slo_checks": self.slo_checks,
             "slo": [status.snapshot() for status in self.slo_statuses],
+            "ops_scrapes": self.ops_scrapes,
+            "ops_scrape_errors": self.ops_scrape_errors,
         }
 
 
@@ -118,6 +122,13 @@ class LoadRunner:
         ``scheduler.query()`` — coalescing across the worker threads —
         instead of the serial ``index.top_k()``; ingests still hit the
         index directly (they mutate, and never batch).
+    ops_url:
+        Base URL of a live ops plane (``python -m repro.serve serve``).
+        When set, every SLO sample also scrapes ``/metrics`` and
+        ``/healthz`` over HTTP — exercising the scrape path *under*
+        the load it is measuring — recording scrape latency into the
+        ``loadgen.ops_scrape.latency`` quantile and outcomes into the
+        ``loadgen.ops_scrape`` counter.
     """
 
     def __init__(self, index: "ServingIndex", schedule: Schedule, *,
@@ -126,10 +137,12 @@ class LoadRunner:
                  slo_interval: float = 1.0,
                  clock: Callable[[], float] = time.perf_counter,
                  sleep: Callable[[float], None] = time.sleep,
-                 scheduler: "BatchScheduler | None" = None) -> None:
+                 scheduler: "BatchScheduler | None" = None,
+                 ops_url: str | None = None) -> None:
         self.index = index
         self.schedule = schedule
         self.scheduler = scheduler
+        self.ops_url = ops_url.rstrip("/") if ops_url else None
         self.telemetry = (telemetry if telemetry is not None
                           else WindowedTelemetry())
         self.monitor = (monitor if monitor is not None
@@ -266,6 +279,40 @@ class LoadRunner:
             return
         self.summary.slo_statuses = self.monitor.check()
         self.summary.slo_checks += 1
+        if self.ops_url is not None:
+            self._scrape_ops()
+
+    def _scrape_ops(self) -> None:
+        """GET the live ops plane once per SLO sample; never raises.
+
+        The scrape runs from the coordinator thread while the workers
+        hammer the index — the ops server must answer (200, sub-second)
+        concurrently with serving, and the recorded latency quantile is
+        the evidence.
+        """
+        import urllib.error
+        import urllib.request
+
+        for endpoint in ("/metrics", "/healthz"):
+            started = self._clock()
+            outcome = "ok"
+            try:
+                with urllib.request.urlopen(self.ops_url + endpoint,
+                                            timeout=5.0) as response:
+                    response.read()
+                    if response.status >= 500:
+                        outcome = "5xx"
+            except (urllib.error.URLError, OSError):
+                outcome = "error"
+            latency = self._clock() - started
+            with self._lock:
+                self.summary.ops_scrapes += 1
+                if outcome != "ok":
+                    self.summary.ops_scrape_errors += 1
+            obs.observe_quantile("loadgen.ops_scrape.latency", latency,
+                                 endpoint=endpoint)
+            obs.count("loadgen.ops_scrape", endpoint=endpoint,
+                      outcome=outcome)
 
     # ------------------------------------------------------------------
     def run(self) -> RunSummary:

@@ -38,7 +38,7 @@ import time as _time
 
 from repro.obs import config as _config
 from repro.obs import profiling as _profiling
-from repro.obs import runs, slo, tracing
+from repro.obs import flightrec, runs, server, slo, tracing
 from repro.obs.config import (
     ObsState,
     configure,
@@ -52,13 +52,21 @@ from repro.obs.exemplars import Exemplar, ExemplarReservoir
 from repro.obs.emitters import (
     console_summary,
     events,
+    lint_exposition,
     prometheus_text,
     read_jsonl,
     render_exemplars,
     render_multi_report,
     render_report,
+    set_metric_help,
     write_jsonl,
 )
+from repro.obs.flightrec import (
+    FlightRecorder,
+    get_flight_recorder,
+    process_snapshot,
+)
+from repro.obs.server import ObsServer
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -86,9 +94,12 @@ __all__ = [
     "Tracer", "SpanRecord", "SpanStats",
     "Exemplar", "ExemplarReservoir",
     "write_jsonl", "read_jsonl", "events", "prometheus_text",
+    "lint_exposition", "set_metric_help",
     "console_summary", "render_report", "render_multi_report",
     "render_exemplars",
-    "runs", "slo",
+    "FlightRecorder", "get_flight_recorder", "process_snapshot",
+    "ObsServer",
+    "runs", "slo", "flightrec", "server",
 ]
 
 
@@ -217,6 +228,9 @@ class _RequestContext:
             return False
         spans = state.tracer.unwatch(record.trace_id)
         error = record.attrs.get("error")
+        flightrec.get_flight_recorder().note_request(
+            record.name, record.duration,
+            str(error) if error is not None else None, record.trace_id)
         state.exemplars.offer(Exemplar(
             trace_id=record.trace_id, name=record.name,
             duration=record.duration,
@@ -258,6 +272,7 @@ def event(name: str, **fields: object) -> None:
             "type": "event", "name": name, "time": _time.time(),
             "trace_id": tracing.current_trace_id(), **fields,
         })
+        flightrec.get_flight_recorder().note_event(name, fields)
 
 
 _F = TypeVar("_F", bound=Callable)

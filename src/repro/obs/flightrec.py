@@ -1,0 +1,381 @@
+"""Always-on flight recorder: bounded black-box state for postmortems.
+
+Every telemetry surface before this module is either *pull* (the ops
+server, ``health()``) or *post-hoc batch* (JSONL captures): a crash
+leaves nothing but whatever happened to be flushed. The
+:class:`FlightRecorder` is the black box in between — a bounded ring
+buffer of recent happenings (structured events, finished request
+summaries, SLO state transitions, injected faults with the open span
+stack at fire time, periodic counter deltas) that costs one deque
+append per entry and never grows.
+
+``dump_postmortem(dir, reason)`` freezes everything into one JSON
+bundle: the ring, every thread's open span stack, a full metric
+snapshot, registered-SLO verdicts, the live thread list, and process
+stats. Bundles are written by:
+
+- the :func:`arm`-installed ``sys.excepthook`` / ``threading.excepthook``
+  chain, on any unhandled exception;
+- explicit :meth:`FlightRecorder.trip` calls on the failure edges the
+  serving stack already knows about — ``WALError`` during replay,
+  failed/rolled-back hot swaps, numeric guard trips, SLO page-level
+  burn (rate-limited so a flapping SLO cannot fill the disk);
+- the operator, via the ops daemon's shutdown path.
+
+The process-wide recorder (:func:`get_flight_recorder`) records
+whenever its tap sites fire — the tap sites themselves are gated on
+``obs.configure(enabled=True)``, except fault injections and trips,
+which are rare enough to record unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import resource
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+
+from repro.obs import config, tracing
+
+#: Wall-clock time this module was imported — the process birth proxy
+#: behind ``uptime_seconds`` (close enough: repro is import-heavy).
+_PROCESS_START = time.time()
+
+
+def process_snapshot(wal_path: "str | os.PathLike | None" = None,
+                     start_time: float | None = None) -> dict[str, object]:
+    """Point-in-time process stats (the ``process.*`` gauge sources).
+
+    ``rss_kb`` reads ``/proc/self/statm`` where available and falls back
+    to the peak (``ru_maxrss``) elsewhere; ``peak_rss_kb`` is always
+    ``ru_maxrss``. ``wal_position_bytes`` is the open WAL file's size
+    when *wal_path* names an existing file, else ``None``.
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    peak_kb = int(usage.ru_maxrss)  # KiB on Linux, bytes on macOS — close enough
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        rss_kb = int(pages * os.sysconf("SC_PAGE_SIZE") / 1024)
+    except (OSError, ValueError, IndexError):
+        rss_kb = peak_kb
+    wal_bytes: int | None = None
+    if wal_path is not None:
+        try:
+            wal_bytes = os.path.getsize(wal_path)
+        except OSError:
+            wal_bytes = None
+    return {
+        "pid": os.getpid(),
+        "rss_kb": rss_kb,
+        "peak_rss_kb": peak_kb,
+        "threads": threading.active_count(),
+        "uptime_seconds": time.time() - (start_time if start_time is not None
+                                         else _PROCESS_START),
+        "wal_position_bytes": wal_bytes,
+    }
+
+
+def _exception_snapshot(exc: BaseException | None) -> dict[str, object] | None:
+    if exc is None:
+        return None
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__)),
+        "thread": threading.current_thread().name,
+    }
+
+
+class FlightRecorder:
+    """Bounded in-memory black box with one-call postmortem dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size in entries; the oldest entries fall off the front.
+    min_dump_interval:
+        Seconds between *automatic* dumps (:meth:`trip` while armed with
+        a directory). Explicit :meth:`dump_postmortem` calls are never
+        rate-limited.
+    """
+
+    def __init__(self, capacity: int = 512,
+                 min_dump_interval: float = 5.0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.min_dump_interval = float(min_dump_interval)
+        self._ring: deque[dict[str, object]] = deque(maxlen=self.capacity)
+        self._lock = threading.RLock()
+        self._armed = False
+        self._dump_dir: pathlib.Path | None = None
+        self._prev_sys_hook = None
+        self._prev_threading_hook = None
+        self._slo_states: dict[str, bool] = {}
+        self._counter_sample: dict[str, float] = {}
+        self._last_auto_dump: float | None = None
+        self._dump_seq = 0
+        #: Total entries ever recorded (``len(ring)`` after eviction).
+        self.recorded = 0
+        #: Paths of every bundle written by this recorder.
+        self.dumps: list[pathlib.Path] = []
+
+    # ------------------------------------------------------------------
+    # Recording taps
+    # ------------------------------------------------------------------
+    def record(self, kind: str, name: str, **fields: object) -> None:
+        """Append one ring entry stamped with wall time and trace ID."""
+        entry = {"kind": kind, "name": name, "time": time.time(),
+                 "trace_id": tracing.current_trace_id(), **fields}
+        with self._lock:
+            self._ring.append(entry)
+            self.recorded += 1
+
+    def note_event(self, name: str, fields: dict[str, object]) -> None:
+        """Tap for :func:`repro.obs.event` (called when obs is enabled)."""
+        self.record("event", name, **fields)
+
+    def note_request(self, name: str, duration: float,
+                     error: str | None, trace_id: str | None) -> None:
+        """Tap for finished outermost request spans (summaries only)."""
+        self.record("request", name, duration=duration, error=error,
+                    trace_id_override=trace_id)
+
+    def note_fault(self, site: str, draw: int) -> None:
+        """Tap for :func:`repro.resilience.faults.maybe_fail` firings.
+
+        Captures the calling thread's open span stack *at fire time* —
+        by the time the injected fault is caught the spans have been
+        unwound, so this is the only record of where the crash hit.
+        """
+        try:
+            stack = [span.name for span in config.get_tracer()._stack]
+        except Exception:  # pragma: no cover - tracer misbehaving
+            stack = []
+        self.record("fault", site, draw=draw, open_spans=stack,
+                    thread=threading.current_thread().name)
+
+    def note_slo(self, statuses) -> None:
+        """Record SLO *transitions* (ok -> breached and back) only."""
+        for status in statuses:
+            with self._lock:
+                previous = self._slo_states.get(status.slo)
+                self._slo_states[status.slo] = status.ok
+            if previous is not None and previous == status.ok:
+                continue
+            if previous is None and status.ok:
+                continue  # steady-healthy from birth is not a transition
+            self.record("slo", status.slo, ok=status.ok,
+                        observed=status.observed, target=status.target,
+                        burn_rate=status.burn_rate, detail=status.detail)
+
+    def sample_metrics(self) -> dict[str, float]:
+        """Record counter deltas since the previous sample; returns them.
+
+        Called periodically (the ops server samples on scrape); only
+        counters that moved make it into the ring entry, so an idle
+        process records nothing.
+        """
+        registry = config.get_registry()
+        current: dict[str, float] = {}
+        for metric in registry.collect():
+            if metric.kind != "counter":
+                continue
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(metric.labels.items()))
+            current[f"{metric.name}{{{labels}}}" if labels
+                    else metric.name] = metric.value
+        with self._lock:
+            previous, self._counter_sample = self._counter_sample, current
+        deltas = {key: value - previous.get(key, 0.0)
+                  for key, value in current.items()
+                  if value != previous.get(key, 0.0)}
+        if deltas:
+            self.record("metrics", "counter_deltas", deltas=deltas)
+        return deltas
+
+    def entries(self) -> list[dict[str, object]]:
+        """The ring's current contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        """Reset recorded state: ring, SLO/counter baselines, dump
+        history, and the auto-dump rate limiter (bundles already on disk
+        are untouched). The isolation point for tests sharing the
+        process-wide recorder."""
+        with self._lock:
+            self._ring.clear()
+            self._slo_states.clear()
+            self._counter_sample.clear()
+            self.dumps = []
+            self._last_auto_dump = None
+
+    # ------------------------------------------------------------------
+    # Arming (crash hooks) and tripping
+    # ------------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        """True while the excepthook chain is installed."""
+        return self._armed
+
+    @property
+    def dump_dir(self) -> pathlib.Path | None:
+        """Where automatic postmortems land (None: trips only record)."""
+        return self._dump_dir
+
+    def arm(self, dump_dir: "str | os.PathLike | None" = None) -> "FlightRecorder":
+        """Install crash hooks; auto-dump into *dump_dir* when given.
+
+        Chains — the previous ``sys.excepthook`` and
+        ``threading.excepthook`` still run after the recorder dumps, so
+        arming never swallows tracebacks. Re-arming just updates the
+        dump directory.
+        """
+        with self._lock:
+            self._dump_dir = (pathlib.Path(dump_dir)
+                              if dump_dir is not None else None)
+            if self._armed:
+                return self
+            self._armed = True
+            self._prev_sys_hook = sys.excepthook
+            self._prev_threading_hook = threading.excepthook
+            sys.excepthook = self._sys_hook
+            threading.excepthook = self._threading_hook
+        return self
+
+    def disarm(self) -> None:
+        """Remove the crash hooks installed by :meth:`arm`."""
+        with self._lock:
+            if not self._armed:
+                return
+            self._armed = False
+            sys.excepthook = self._prev_sys_hook or sys.__excepthook__
+            threading.excepthook = (self._prev_threading_hook
+                                    or threading.__excepthook__)
+            self._prev_sys_hook = None
+            self._prev_threading_hook = None
+            self._dump_dir = None
+
+    def _sys_hook(self, exc_type, exc, tb) -> None:
+        try:
+            self.trip("unhandled_exception", exc=exc)
+        finally:
+            (self._prev_sys_hook or sys.__excepthook__)(exc_type, exc, tb)
+
+    def _threading_hook(self, args) -> None:
+        try:
+            thread = args.thread.name if args.thread else "?"
+            self.trip(f"unhandled_thread_exception[{thread}]",
+                      exc=args.exc_value)
+        finally:
+            (self._prev_threading_hook or threading.__excepthook__)(args)
+
+    def trip(self, reason: str, exc: BaseException | None = None) -> "pathlib.Path | None":
+        """One failure-edge firing: record it; dump if armed with a dir.
+
+        Automatic dumps are rate-limited to one per
+        ``min_dump_interval`` seconds so a flapping trigger (page-level
+        SLO burn evaluated every few seconds) cannot fill the disk; the
+        trip itself is always recorded. Returns the bundle path when one
+        was written.
+        """
+        self.record("trip", reason,
+                    exception=type(exc).__name__ if exc else None)
+        state = config._STATE
+        if state.enabled:
+            state.registry.counter("obs.flightrec.trips", reason=reason).inc()
+        with self._lock:
+            dump_dir = self._dump_dir
+            now = time.monotonic()
+            if dump_dir is None:
+                return None
+            if (self._last_auto_dump is not None
+                    and now - self._last_auto_dump < self.min_dump_interval):
+                return None
+            self._last_auto_dump = now
+        return self.dump_postmortem(dump_dir, reason, exc=exc)
+
+    # ------------------------------------------------------------------
+    # Postmortem bundles
+    # ------------------------------------------------------------------
+    def dump_postmortem(self, dump_dir: "str | os.PathLike", reason: str,
+                        exc: BaseException | None = None) -> pathlib.Path:
+        """Write one JSON postmortem bundle; returns its path.
+
+        Bundle schema (one JSON object)::
+
+            {"type": "postmortem", "reason": ..., "time": ...,
+             "uptime_seconds": ...,
+             "exception": {"type", "message", "traceback", "thread"} | null,
+             "entries": [<ring entries, oldest first>],
+             "open_spans": {"<thread ident>": [<span snapshots>]},
+             "metrics": [<registry snapshot>],
+             "slos": [<registered-SLO statuses>],
+             "threads": [{"name", "ident", "daemon"}],
+             "process": {<process_snapshot()>},
+             "python": ..., "argv": [...]}
+
+        Never raises on partially-broken telemetry state: each section
+        degrades to an ``"error: ..."`` marker independently, because a
+        postmortem writer that crashes is worse than a thin bundle.
+        """
+        from repro.obs import slo as slo_mod
+
+        dump_dir = pathlib.Path(dump_dir)
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self._dump_seq += 1
+            seq = self._dump_seq
+        bundle: dict[str, object] = {
+            "type": "postmortem",
+            "reason": reason,
+            "time": time.time(),
+            "uptime_seconds": time.time() - _PROCESS_START,
+            "exception": _exception_snapshot(exc),
+            "entries": self.entries(),
+            "python": sys.version,
+            "argv": list(sys.argv),
+        }
+        for key, build in (
+                ("open_spans", lambda: {
+                    str(tid): spans
+                    for tid, spans in config.get_tracer().open_spans().items()}),
+                ("metrics", lambda: config.get_registry().snapshot()),
+                ("slos", lambda: [s.snapshot() for s in
+                                  slo_mod.evaluate_registered()]),
+                ("threads", lambda: [
+                    {"name": t.name, "ident": t.ident, "daemon": t.daemon}
+                    for t in threading.enumerate()]),
+                ("process", process_snapshot),
+        ):
+            try:
+                bundle[key] = build()
+            except Exception as build_exc:  # pragma: no cover - degraded
+                bundle[key] = f"error: {build_exc}"
+        path = dump_dir / f"postmortem-{os.getpid()}-{seq:03d}.json"
+        path.write_text(json.dumps(bundle, sort_keys=True, default=str) + "\n",
+                        encoding="utf-8")
+        with self._lock:
+            self.dumps.append(path)
+        state = config._STATE
+        if state.enabled:
+            state.registry.counter("obs.flightrec.dumps").inc()
+        self.record("dump", reason, path=str(path))
+        return path
+
+
+#: The process-wide recorder every library tap feeds.
+_RECORDER = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide :class:`FlightRecorder` singleton."""
+    return _RECORDER

@@ -1,0 +1,294 @@
+"""Embedded HTTP ops plane: scrape, probe, and debug a live server.
+
+Stdlib-only (``http.server``): a :class:`ObsServer` wraps a
+``ThreadingHTTPServer`` on its own daemon threads, so a long-running
+serving process (``python -m repro.serve serve``) answers operators
+concurrently with traffic. Endpoints:
+
+=================  ====================================================
+``GET /metrics``   Prometheus text exposition of the live registry
+                   (process gauges refreshed per scrape).
+``GET /healthz``   Liveness: 200 while the process serves — even
+                   degraded; a degraded answer beats a dead one.
+``GET /readyz``    Readiness: ``ServingIndex.health()`` — 200 only
+                   when healthy (artifact, embeddings, fallback,
+                   scheduler saturation, WAL lag, SLO breaches);
+                   503 otherwise, body carries the full JSON report.
+                   ``?probe=1`` forces the self-test query.
+``GET /slo``       Per-SLO burn rates from a rolling
+                   :class:`~repro.obs.slo.SLOMonitor` over the
+                   registered SLOs, as JSON.
+``GET /debug/vars``Scheduler queue/in-flight/shed state, WAL
+                   seq/lag/torn counts, ANN strategy, pool size and
+                   version, process stats, flight-recorder state.
+``GET /exemplars`` Retained slowest/errored request span trees.
+=================  ====================================================
+
+Readiness uses 503 (not 500) so k8s-style probes distinguish "not
+ready" from "broken handler"; the concurrent-scrape tests hold every
+endpoint to *zero* 5xx under load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs import config, flightrec
+from repro.obs import slo as slo_mod
+from repro.obs.emitters import prometheus_text, set_metric_help
+
+#: Help texts for the scrape-time process gauges (satellite of the ops
+#: plane: the same numbers back /debug/vars and postmortem bundles).
+for _name, _help in (
+        ("process.rss_kb", "resident set size in KiB, sampled on scrape"),
+        ("process.peak_rss_kb", "peak resident set size in KiB (ru_maxrss)"),
+        ("process.threads", "live Python threads"),
+        ("process.uptime_seconds", "seconds since process start"),
+        ("process.wal_position_bytes", "open WAL file size in bytes"),
+):
+    set_metric_help(_name, _help)
+
+
+class _OpsHandler(BaseHTTPRequestHandler):
+    """Routes GETs to the owning :class:`ObsServer`; never logs."""
+
+    server_version = "repro-ops/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        ops: "ObsServer" = self.server.ops  # type: ignore[attr-defined]
+        try:
+            status, content_type, body = ops.dispatch(self.path)
+        except Exception as exc:  # pragma: no cover - handler safety net
+            status = 500
+            content_type = "text/plain; charset=utf-8"
+            body = f"internal error: {exc}\n".encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ObsServer:
+    """The embedded ops plane for one process.
+
+    Parameters
+    ----------
+    index:
+        The live :class:`~repro.serve.index.ServingIndex`, when there is
+        one — readiness, ``/debug/vars`` and the WAL gauges come from
+        it. ``None`` serves the obs-only subset (metrics, exemplars).
+    scheduler:
+        Explicit :class:`~repro.serve.scheduler.BatchScheduler`
+        override; defaults to ``index.scheduler``.
+    recorder:
+        Flight recorder surfaced in ``/debug/vars``; defaults to the
+        process-wide one.
+    host / port:
+        Bind address. Port 0 (default) picks an ephemeral port —
+        read it back from :attr:`port` / :attr:`url`.
+    page_burn:
+        ``/slo`` burn-rate level treated as page-worthy: any SLO
+        burning at or above it trips the flight recorder.
+    """
+
+    def __init__(self, index=None, scheduler=None, recorder=None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 page_burn: float = 10.0) -> None:
+        self._index = index
+        self._explicit_scheduler = scheduler
+        self.recorder = (recorder if recorder is not None
+                         else flightrec.get_flight_recorder())
+        self.page_burn = float(page_burn)
+        self.started = time.time()
+        self.monitor = slo_mod.SLOMonitor()
+        self._httpd = ThreadingHTTPServer((host, port), _OpsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.ops = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved even when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running (or startable) server."""
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+                name="repro-ops-server", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Shared accessors
+    # ------------------------------------------------------------------
+    @property
+    def scheduler(self):
+        if self._explicit_scheduler is not None:
+            return self._explicit_scheduler
+        return getattr(self._index, "scheduler", None)
+
+    def _wal(self):
+        return getattr(self._index, "wal", None)
+
+    def sample_process_gauges(self) -> dict[str, object]:
+        """Refresh the ``process.*`` gauges; returns the raw snapshot.
+
+        Runs on every ``/metrics`` scrape (pull-model process metrics:
+        fresh exactly when someone is looking) and feeds the same
+        numbers to ``/debug/vars``. Gauges are only written while obs
+        is enabled; the snapshot is returned either way.
+        """
+        wal = self._wal()
+        snap = flightrec.process_snapshot(
+            wal_path=getattr(wal, "path", None), start_time=self.started)
+        state = config._STATE
+        if state.enabled:
+            for key in ("rss_kb", "peak_rss_kb", "threads",
+                        "uptime_seconds", "wal_position_bytes"):
+                value = snap[key]
+                if value is not None:
+                    state.registry.gauge(f"process.{key}").set(float(value))
+        return snap
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def dispatch(self, path: str) -> tuple[int, str, bytes]:
+        """Answer one GET *path*; returns (status, content-type, body)."""
+        parsed = urllib.parse.urlsplit(path)
+        query = urllib.parse.parse_qs(parsed.query)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/metrics":
+            return self._metrics()
+        if route == "/healthz":
+            return self._healthz()
+        if route == "/readyz":
+            return self._readyz(probe="probe" in query)
+        if route == "/slo":
+            return self._slo()
+        if route == "/debug/vars":
+            return self._debug_vars()
+        if route == "/exemplars":
+            return self._exemplars()
+        return (404, "text/plain; charset=utf-8",
+                f"no such endpoint: {parsed.path}\n".encode("utf-8"))
+
+    @staticmethod
+    def _json(status: int, payload: object) -> tuple[int, str, bytes]:
+        body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        return status, "application/json; charset=utf-8", body + b"\n"
+
+    def _metrics(self) -> tuple[int, str, bytes]:
+        self.sample_process_gauges()
+        self.recorder.sample_metrics()
+        text = prometheus_text(config.get_registry())
+        return (200, "text/plain; version=0.0.4; charset=utf-8",
+                text.encode("utf-8"))
+
+    def _healthz(self) -> tuple[int, str, bytes]:
+        # Liveness only: the handler answering *is* the signal. A
+        # degraded index still serves (TF-IDF fallback), so it is alive.
+        payload = {
+            "status": "alive",
+            "uptime_seconds": time.time() - self.started,
+            "index": self._index is not None,
+            "degraded": bool(getattr(self._index, "degraded", False)),
+        }
+        return self._json(200, payload)
+
+    def _readyz(self, probe: bool) -> tuple[int, str, bytes]:
+        if self._index is None:
+            return self._json(503, {"healthy": False,
+                                    "reason": "no serving index attached"})
+        report = self._index.health(probe=probe)
+        return self._json(200 if report.get("healthy") else 503, report)
+
+    def _slo(self) -> tuple[int, str, bytes]:
+        self.monitor.slos = slo_mod.registered_slos()
+        statuses = self.monitor.check(config.get_registry())
+        self.recorder.note_slo(statuses)
+        for status in statuses:
+            if (not status.ok and status.burn_rate is not None
+                    and status.burn_rate >= self.page_burn):
+                self.recorder.trip(f"slo_page_burn[{status.slo}]")
+        payload = {
+            "page_burn_threshold": self.page_burn,
+            "slos": [status.snapshot() for status in statuses],
+            "breaches": [status.slo for status in statuses if not status.ok],
+        }
+        return self._json(200, payload)
+
+    def _debug_vars(self) -> tuple[int, str, bytes]:
+        scheduler = self.scheduler
+        wal = self._wal()
+        # Lazy import: repro.serve depends on repro.obs, not vice versa.
+        try:
+            from repro.serve.swap import last_swap_report
+            report = last_swap_report()
+            swap = report.snapshot() if report is not None else None
+        except ImportError:  # pragma: no cover - serve layer absent
+            swap = None
+        payload: dict[str, object] = {
+            "process": self.sample_process_gauges(),
+            "scheduler": scheduler.stats() if scheduler is not None else None,
+            "wal": None if wal is None else {
+                "path": str(wal.path),
+                "lag": wal.lag,
+                "torn_records": wal.torn_records,
+            },
+            "index": None if self._index is None else {
+                "degraded": self._index.degraded,
+                "pool_size": self._index.num_papers,
+                "pool_version": self._index.pool_version,
+                "index_kind": self._index.index_kind,
+                "nprobe": self._index.nprobe,
+            },
+            "swap": swap,
+            "flightrec": {
+                "armed": self.recorder.armed,
+                "dump_dir": (str(self.recorder.dump_dir)
+                             if self.recorder.dump_dir else None),
+                "recorded": self.recorder.recorded,
+                "retained": len(self.recorder.entries()),
+                "dumps": [str(p) for p in self.recorder.dumps],
+            },
+            "obs_enabled": config.is_enabled(),
+        }
+        return self._json(200, payload)
+
+    def _exemplars(self) -> tuple[int, str, bytes]:
+        return self._json(200, {"exemplars": config.get_exemplars().snapshot()})

@@ -140,6 +140,10 @@ class Tracer:
         #: the per-thread stacks are thread-local, so reset() needs this
         #: global count to refuse while any thread is mid-span.
         self._open_total = 0
+        #: thread ident -> that thread's open-span stack. The stacks are
+        #: mutated lock-free by their owning threads; this registry only
+        #: lets the flight recorder take a best-effort crash snapshot.
+        self._open_stacks: dict[int, list[SpanRecord]] = {}
         #: name -> [calls, total, min, max], survives span eviction.
         self._agg: dict[str, list[float]] = {}
         #: trace_id -> finished spans, for traces someone is watching
@@ -151,6 +155,8 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._open_stacks[threading.get_ident()] = stack
         return stack
 
     # ------------------------------------------------------------------
@@ -247,6 +253,22 @@ class Tracer:
     def open_depth(self) -> int:
         """How many spans the *current thread* has open."""
         return len(self._stack)
+
+    def open_spans(self) -> dict[int, list[dict[str, object]]]:
+        """Best-effort snapshot of every thread's open span stack.
+
+        Maps thread ident to outermost-first span snapshots for every
+        thread with at least one span currently open. The owning threads
+        mutate their stacks without the lock, so a stack caught
+        mid-mutation may be one span stale — acceptable for the flight
+        recorder's postmortem bundles, which only need to say *where*
+        each thread was when the process died.
+        """
+        with self._lock:
+            stacks = {tid: list(stack)
+                      for tid, stack in self._open_stacks.items() if stack}
+        return {tid: [span.snapshot() for span in stack]
+                for tid, stack in stacks.items()}
 
     def ordered(self) -> list[SpanRecord]:
         """Finished spans in start order (``spans`` is finish order)."""

@@ -199,6 +199,10 @@ def maybe_fail(site: str) -> None:
     if plan.should_fail(site):
         draw = plan.draws[site] - 1
         obs.count("resilience.faults.injected", site=site)
+        # Black-box the firing while the spans are still open: by the
+        # time the fault is caught the stack has unwound, so this entry
+        # is the postmortem's only record of where the crash hit.
+        obs.get_flight_recorder().note_fault(site, draw)
         raise InjectedFault(
             f"injected fault at site {site!r} (draw #{draw})",
             site=site, draw=draw)

@@ -85,6 +85,7 @@ class NumericGuard:
         """Pass *value* through, raising on NaN/Inf."""
         if not math.isfinite(value):
             obs.count("resilience.guard.trips", kind="nonfinite_loss")
+            obs.get_flight_recorder().trip("guard_nonfinite_loss")
             raise NumericalError(f"non-finite loss {value!r} at {where}")
         return value
 
@@ -95,6 +96,7 @@ class NumericGuard:
         for i, param in enumerate(params):
             if param.grad is not None and not np.isfinite(param.grad).all():
                 obs.count("resilience.guard.trips", kind="nonfinite_grad")
+                obs.get_flight_recorder().trip("guard_nonfinite_grad")
                 raise NumericalError(
                     f"non-finite gradient in parameter #{i} "
                     f"(shape {param.grad.shape}) at {where}")
@@ -105,6 +107,7 @@ class NumericGuard:
         if (math.isfinite(self.best_loss)
                 and mean_loss > self.policy.divergence_factor * self.best_loss):
             obs.count("resilience.guard.trips", kind="divergence")
+            obs.get_flight_recorder().trip("guard_divergence")
             raise NumericalError(
                 f"divergence at epoch {epoch}: loss {mean_loss:.6g} exceeds "
                 f"{self.policy.divergence_factor:g} x best "

@@ -41,6 +41,15 @@ Commands
     cache, run the schedule from real threads, and write
     ``BENCH_serve_load.json``, a JSONL observability capture, and a
     run-registry snapshot that CI gates against the committed baseline.
+``serve``
+    Long-running serving daemon: fit-or-load the artifact, register the
+    evaluation users, attach the ingestion WAL (and optionally the
+    batch scheduler), arm the flight recorder, and serve the embedded
+    HTTP ops plane (:class:`repro.obs.server.ObsServer` — ``/metrics``,
+    ``/healthz``, ``/readyz``, ``/slo``, ``/debug/vars``,
+    ``/exemplars``) until SIGTERM/SIGINT or ``--duration`` elapses;
+    shutdown drains the scheduler through its quiesce barrier and can
+    emit a final postmortem bundle.
 """
 
 from __future__ import annotations
@@ -359,30 +368,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     # Fit-or-load happens *before* observability capture starts, so the
     # run snapshot holds serving-and-load metrics only — training
     # counters would drown the gate in fit noise.
-    directory = Path(args.dir)
-    if (directory / "manifest.json").exists():
-        print(f"loading artifact from {directory} ...", file=sys.stderr)
-        task = _reload_task(str(directory))
-        index = ServingIndex.from_artifact(str(directory),
-                                           papers=task.new_papers,
-                                           cache_size=args.cache_size,
-                                           **_index_kwargs(args))
-    else:
-        print(f"no artifact at {directory}; fitting one "
-              f"(scale={args.scale}, seed={args.seed}) ...", file=sys.stderr)
-        task = _build_task(args.scale, args.seed, args.split_year, args.users)
-        recommender = NPRecRecommender(_fit_config(args.seed))
-        recommender.fit(task.corpus, task.train_papers, task.new_papers)
-        save_pipeline(recommender, str(directory), corpus=task.corpus,
-                      extra_metadata={
-                          "corpus": "acm", "scale": args.scale,
-                          "seed": args.seed, "split_year": args.split_year,
-                          "users": args.users,
-                      })
-        index = ServingIndex.from_artifact(str(directory),
-                                           papers=task.new_papers,
-                                           cache_size=args.cache_size,
-                                           **_index_kwargs(args))
+    task, index = _load_or_fit_index(args)
     if index.degraded:
         print("WARNING: index is degraded; load run exercises the "
               "TF-IDF fallback only", file=sys.stderr)
@@ -411,7 +397,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
           f"(concurrency={schedule.concurrency}, seed={schedule.seed}, "
           f"scheduler={'on' if scheduler else 'off'}, "
           f"schedule sha256 {schedule.sha256()[:12]}) ...", file=sys.stderr)
-    runner = LoadRunner(index, schedule, scheduler=scheduler)
+    runner = LoadRunner(index, schedule, scheduler=scheduler,
+                        ops_url=args.ops_url)
     try:
         summary = runner.run()
     finally:
@@ -466,6 +453,119 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                       "errors": summary.errors,
                       "schedule_sha256": schedule.sha256()}))
     return 0 if summary.errors == 0 else 1
+
+
+def _load_or_fit_index(args: argparse.Namespace):
+    """Fit-or-load shared by ``loadtest`` and ``serve``: (task, index)."""
+    directory = Path(args.dir)
+    if (directory / "manifest.json").exists():
+        print(f"loading artifact from {directory} ...", file=sys.stderr)
+        task = _reload_task(str(directory))
+    else:
+        print(f"no artifact at {directory}; fitting one "
+              f"(scale={args.scale}, seed={args.seed}) ...", file=sys.stderr)
+        task = _build_task(args.scale, args.seed, args.split_year, args.users)
+        recommender = NPRecRecommender(_fit_config(args.seed))
+        recommender.fit(task.corpus, task.train_papers, task.new_papers)
+        save_pipeline(recommender, str(directory), corpus=task.corpus,
+                      extra_metadata={
+                          "corpus": "acm", "scale": args.scale,
+                          "seed": args.seed, "split_year": args.split_year,
+                          "users": args.users,
+                      })
+    index = ServingIndex.from_artifact(str(directory),
+                                       papers=task.new_papers,
+                                       cache_size=args.cache_size,
+                                       **_index_kwargs(args))
+    return task, index
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+    import time
+
+    from repro import obs
+    from repro.serve.wal import WriteAheadLog
+
+    # Ops plane first: the flight recorder is armed before anything that
+    # can crash, so even a failed warmup leaves a postmortem bundle.
+    obs.configure(enabled=True, reset=True)
+    recorder = obs.get_flight_recorder()
+    recorder.arm(args.postmortem_dir)
+
+    task, index = _load_or_fit_index(args)
+    if index.degraded:
+        print("WARNING: index is degraded; serving the TF-IDF fallback only",
+              file=sys.stderr)
+    for user in task.users:
+        index.register_user(user.author_id, list(user.train_papers))
+    wal_path = args.wal or _default_wal(args.dir)
+    index.attach_wal(WriteAheadLog(wal_path), lag_bound=args.wal_lag_bound)
+
+    scheduler = None
+    if args.scheduler:
+        from repro.serve.scheduler import BatchScheduler, SheddingGovernor
+        scheduler = BatchScheduler(
+            index, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            queue_depth=args.queue_depth,
+            governor=SheddingGovernor(threshold=args.shed_threshold))
+
+    server = obs.ObsServer(index=index, recorder=recorder,
+                           host=args.host, port=args.port)
+    server.start()
+    # First stdout line is the machine-readable announcement CI and the
+    # daemon tests parse for the (ephemeral) port; chatter goes to stderr.
+    print(json.dumps({"url": server.url, "port": server.port,
+                      "pid": os.getpid(), "artifact": str(args.dir),
+                      "wal": wal_path,
+                      "scheduler": scheduler is not None,
+                      "postmortems": args.postmortem_dir}), flush=True)
+    print(f"ops plane at {server.url} "
+          f"(/metrics /healthz /readyz /slo /debug/vars /exemplars); "
+          "SIGTERM or SIGINT to stop", file=sys.stderr)
+
+    stop = threading.Event()
+
+    def _signalled(signum, frame):  # noqa: ARG001 - signal signature
+        print(f"received signal {signum}; draining ...", file=sys.stderr)
+        stop.set()
+
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _signalled)
+    except ValueError:
+        # Not the main thread (embedded test run): --duration bounds us.
+        pass
+    deadline = (time.monotonic() + args.duration
+                if args.duration is not None else None)
+    try:
+        while not stop.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                print(f"duration of {args.duration}s elapsed; draining ...",
+                      file=sys.stderr)
+                break
+            stop.wait(0.2)
+    finally:
+        if scheduler is not None:
+            # Drain barrier first so no in-flight batch straddles
+            # shutdown, then release the worker threads.
+            with scheduler.quiesce():
+                pass
+            scheduler.close()
+        if args.final_postmortem:
+            path = recorder.dump_postmortem(args.postmortem_dir, "shutdown")
+            print(f"final postmortem: {path}", file=sys.stderr)
+        server.stop()
+        if index.wal is not None:
+            index.wal.close()
+        recorder.disarm()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    print("serve daemon stopped cleanly", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -581,9 +681,46 @@ def main(argv: list[str] | None = None) -> int:
     loadtest.add_argument("--run-id", default="serve_load",
                           help="run-registry snapshot id (fixed so CI can "
                                "gate against the committed baseline)")
+    loadtest.add_argument("--ops-url", default=None,
+                          help="base URL of a live ops plane (see the "
+                               "serve command); the runner scrapes "
+                               "/metrics and /healthz at every SLO "
+                               "sample and records scrape latency")
     _add_index_args(loadtest)
     _add_scheduler_args(loadtest, shed_threshold=True)
     loadtest.set_defaults(fn=cmd_loadtest)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running serving daemon with the embedded HTTP ops "
+             "plane (/metrics, /healthz, /readyz, /slo, /debug/vars, "
+             "/exemplars) and an armed flight recorder")
+    serve.add_argument("--dir", default="artifacts/serve",
+                       help="artifact directory (loaded when present, "
+                            "fitted and persisted otherwise)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="ops-plane port (0: ephemeral; read it from "
+                            "the first stdout JSON line)")
+    serve.add_argument("--wal", default=None,
+                       help="ingestion WAL path (default: <dir>.wal)")
+    serve.add_argument("--wal-lag-bound", type=int, default=10_000)
+    serve.add_argument("--duration", type=float, default=None,
+                       help="stop after this many seconds (default: run "
+                            "until SIGTERM/SIGINT)")
+    serve.add_argument("--postmortem-dir", default="results/postmortems",
+                       help="where flight-recorder crash bundles land")
+    serve.add_argument("--final-postmortem", action="store_true",
+                       help="dump a postmortem bundle on clean shutdown "
+                            "too (postmortem-on-demand)")
+    serve.add_argument("--scale", type=float, default=0.3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--split-year", type=int, default=2014)
+    serve.add_argument("--users", type=int, default=12)
+    serve.add_argument("--cache-size", type=int, default=128)
+    _add_index_args(serve)
+    _add_scheduler_args(serve, shed_threshold=True)
+    serve.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -617,11 +617,14 @@ class ServingIndex:
                         _apply()
                     except ReproError as exc:
                         obs.count("serve.wal.replayed", outcome="failed")
-                        raise WALError(
+                        error = WALError(
                             f"replay of WAL record #{record.seq} (paper "
                             f"{record.paper.get('id')!r}) failed — the log "
                             f"acknowledged this ingest, refusing to serve "
-                            f"without it: {exc}") from exc
+                            f"without it: {exc}")
+                        obs.get_flight_recorder().trip("wal_replay_failed",
+                                                       exc=error)
+                        raise error from exc
                     obs.count("serve.wal.replayed", outcome="applied")
                     applied += 1
                 span.set("applied", applied)

@@ -91,6 +91,24 @@ class SwapReport:
         }
 
 
+#: Most recent swap outcome in this process (``/debug/vars`` surfaces it).
+_LAST_REPORT: SwapReport | None = None
+
+
+def last_swap_report() -> SwapReport | None:
+    """The most recent :class:`SwapReport` of this process, if any."""
+    return _LAST_REPORT
+
+
+def _conclude(report: SwapReport) -> SwapReport:
+    """Stamp *report* as the process' latest; trip the recorder on failure."""
+    global _LAST_REPORT
+    _LAST_REPORT = report
+    if report.outcome != "swapped":
+        obs.get_flight_recorder().trip(f"swap_{report.outcome}")
+    return report
+
+
 class HotSwapper:
     """Swap a live :class:`ServingIndex` to a new artifact without downtime.
 
@@ -165,10 +183,10 @@ class HotSwapper:
                 obs.count("serve.swap", outcome="load_failed")
                 obs.event("serve.swap", outcome="load_failed",
                           directory=directory, error=str(exc))
-                return SwapReport(outcome="load_failed",
-                                  directory=directory,
-                                  min_overlap=self.min_overlap,
-                                  golden_k=self.golden_k, error=str(exc))
+                return _conclude(SwapReport(
+                    outcome="load_failed", directory=directory,
+                    min_overlap=self.min_overlap,
+                    golden_k=self.golden_k, error=str(exc)))
             for uid, papers in profiles.items():
                 candidate.register_user(uid, papers)
 
@@ -183,7 +201,7 @@ class HotSwapper:
                           directory=directory,
                           mean_overlap=report.mean_overlap,
                           failed_checks=list(report.failed_checks))
-                return report
+                return _conclude(report)
 
             # -- cutover -----------------------------------------------
             scheduler = (self.scheduler if self.scheduler is not None
@@ -206,7 +224,7 @@ class HotSwapper:
                       delta_papers=len(delta))
             report.outcome = "swapped"
             report.delta_papers = len(delta)
-            return report
+            return _conclude(report)
 
     # ------------------------------------------------------------------
     def _load_candidate(self, directory: str,

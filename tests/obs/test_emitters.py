@@ -31,14 +31,19 @@ class TestPrometheusText:
     def test_golden_format(self):
         # Golden test: the full exposition output for a fixed registry.
         assert prometheus_text(small_registry()) == (
+            "# HELP repro_graph_nodes repro metric graph.nodes (gauge)\n"
             "# TYPE repro_graph_nodes gauge\n"
             'repro_graph_nodes{type="paper"} 120\n'
+            "# HELP repro_nprec_train_epoch_loss repro metric "
+            "nprec.train.epoch_loss (histogram)\n"
             "# TYPE repro_nprec_train_epoch_loss histogram\n"
             'repro_nprec_train_epoch_loss_bucket{le="0.5"} 1\n'
             'repro_nprec_train_epoch_loss_bucket{le="1"} 2\n'
             'repro_nprec_train_epoch_loss_bucket{le="+Inf"} 3\n'
             "repro_nprec_train_epoch_loss_sum 3\n"
             "repro_nprec_train_epoch_loss_count 3\n"
+            "# HELP repro_nprec_train_grad_steps repro metric "
+            "nprec.train.grad_steps (counter)\n"
             "# TYPE repro_nprec_train_grad_steps counter\n"
             'repro_nprec_train_grad_steps{strategy="defuzz"} 42\n'
         )
@@ -70,6 +75,7 @@ class TestPrometheusText:
             h.observe(v)
         lines = prometheus_text(reg).strip().splitlines()
         assert lines == [
+            "# HELP repro_lat repro metric lat (histogram)",
             "# TYPE repro_lat histogram",
             'repro_lat_bucket{le="0.1"} 1',
             'repro_lat_bucket{le="1"} 3',
@@ -84,7 +90,8 @@ class TestPrometheusText:
         for v in (0.1, 0.2, 0.3):
             q.observe(v)
         lines = prometheus_text(reg).strip().splitlines()
-        assert lines[0] == "# TYPE repro_serve_query_latency summary"
+        assert lines[0].startswith("# HELP repro_serve_query_latency ")
+        assert lines[1] == "# TYPE repro_serve_query_latency summary"
         assert 'repro_serve_query_latency{quantile="0.5",route="top_k"} 0.2' \
             in lines
         assert any(l.startswith(

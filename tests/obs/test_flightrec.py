@@ -1,0 +1,200 @@
+"""Tests for the flight recorder: ring taps, crash hooks, postmortems."""
+
+import json
+import sys
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import InjectedFault
+from repro.obs.flightrec import FlightRecorder, process_snapshot
+from repro.resilience import faults
+
+
+@pytest.fixture
+def recorder():
+    """The process-wide recorder, cleared around the test."""
+    rec = obs.get_flight_recorder()
+    rec.clear()
+    try:
+        yield rec
+    finally:
+        rec.disarm()
+        rec.clear()
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("event", f"e{i}")
+        entries = rec.entries()
+        assert len(entries) == 4
+        assert [e["name"] for e in entries] == ["e6", "e7", "e8", "e9"]
+        assert rec.recorded == 10
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_event_tap(self, recorder, obs_enabled):
+        obs.event("my.event", reason="testing")
+        kinds = [(e["kind"], e["name"]) for e in recorder.entries()]
+        assert ("event", "my.event") in kinds
+
+    def test_request_tap_outermost_only(self, recorder, obs_enabled):
+        with obs.request("outer.request"):
+            with obs.request("inner.request"):
+                pass
+        requests = [e for e in recorder.entries() if e["kind"] == "request"]
+        assert [e["name"] for e in requests] == ["outer.request"]
+
+    def test_fault_tap_captures_open_spans(self, recorder, obs_enabled):
+        with faults.inject("rec.site:1.0"):
+            with pytest.raises(InjectedFault):
+                with obs.trace("stage.one"):
+                    with obs.trace("stage.two"):
+                        faults.maybe_fail("rec.site")
+        fault = [e for e in recorder.entries() if e["kind"] == "fault"][0]
+        assert fault["name"] == "rec.site"
+        assert fault["open_spans"] == ["stage.one", "stage.two"]
+
+    def test_slo_transitions_deduplicated(self):
+        rec = FlightRecorder()
+        from repro.obs.slo import SLOStatus
+
+        breached = SLOStatus("demo.slo", "latency", ok=False, observed=1.0,
+                             target=0.5)
+        healthy = SLOStatus("demo.slo", "latency", ok=True, observed=0.1,
+                            target=0.5)
+        rec.note_slo([healthy])      # healthy-from-birth: not a transition
+        rec.note_slo([breached])     # ok -> breached: recorded
+        rec.note_slo([breached])     # steady breached: deduplicated
+        rec.note_slo([healthy])      # breached -> ok: recorded
+        slo_entries = [e for e in rec.entries() if e["kind"] == "slo"]
+        assert [e["ok"] for e in slo_entries] == [False, True]
+
+    def test_counter_delta_sampling(self, obs_enabled):
+        rec = FlightRecorder()
+        obs.count("delta.counter", 3)
+        first = rec.sample_metrics()
+        assert first == {"delta.counter": 3.0}
+        assert rec.sample_metrics() == {}  # unchanged: nothing recorded
+        obs.count("delta.counter", 2)
+        assert rec.sample_metrics() == {"delta.counter": 2.0}
+        metric_entries = [e for e in rec.entries() if e["kind"] == "metrics"]
+        assert len(metric_entries) == 2
+
+
+class TestArming:
+    def test_arm_installs_and_disarm_restores_hooks(self, tmp_path):
+        rec = FlightRecorder()
+        prev_sys, prev_thread = sys.excepthook, threading.excepthook
+        rec.arm(tmp_path)
+        assert rec.armed and sys.excepthook is not prev_sys
+        rec.disarm()
+        assert not rec.armed
+        assert sys.excepthook is prev_sys
+        assert threading.excepthook is prev_thread
+
+    def test_sys_hook_dumps_and_chains(self, tmp_path):
+        rec = FlightRecorder()
+        chained = []
+        previous = sys.excepthook
+        sys.excepthook = lambda *a: chained.append(a)
+        try:
+            rec.arm(tmp_path)
+            try:
+                raise RuntimeError("boom")
+            except RuntimeError as exc:
+                sys.excepthook(RuntimeError, exc, exc.__traceback__)
+        finally:
+            rec.disarm()
+            sys.excepthook = previous
+        assert len(chained) == 1  # the pre-existing hook still ran
+        assert len(rec.dumps) == 1
+        bundle = json.loads(rec.dumps[0].read_text())
+        assert bundle["reason"] == "unhandled_exception"
+        assert bundle["exception"]["type"] == "RuntimeError"
+        assert "boom" in bundle["exception"]["traceback"]
+
+    def test_threading_hook_dumps(self, tmp_path):
+        rec = FlightRecorder()
+        quiet = lambda args: None  # silence the default stderr print
+        previous = threading.excepthook
+        threading.excepthook = quiet
+        try:
+            rec.arm(tmp_path)
+            worker = threading.Thread(target=lambda: 1 / 0,
+                                      name="crashy", daemon=True)
+            worker.start()
+            worker.join(timeout=5.0)
+        finally:
+            rec.disarm()
+            threading.excepthook = previous
+        assert len(rec.dumps) == 1
+        bundle = json.loads(rec.dumps[0].read_text())
+        assert "crashy" in bundle["reason"]
+        assert bundle["exception"]["type"] == "ZeroDivisionError"
+
+
+class TestTrip:
+    def test_trip_without_dir_records_only(self):
+        rec = FlightRecorder()
+        assert rec.trip("no_dir_trip") is None
+        assert [e["name"] for e in rec.entries()
+                if e["kind"] == "trip"] == ["no_dir_trip"]
+        assert rec.dumps == []
+
+    def test_trip_rate_limited_while_armed(self, tmp_path):
+        rec = FlightRecorder(min_dump_interval=3600.0)
+        rec.arm(tmp_path)
+        try:
+            first = rec.trip("flap")
+            second = rec.trip("flap")
+        finally:
+            rec.disarm()
+        assert first is not None and first.exists()
+        assert second is None  # rate-limited, but still recorded
+        trips = [e for e in rec.entries() if e["kind"] == "trip"]
+        assert len(trips) == 2
+
+    def test_explicit_dump_never_rate_limited(self, tmp_path):
+        rec = FlightRecorder(min_dump_interval=3600.0)
+        paths = {rec.dump_postmortem(tmp_path, "one"),
+                 rec.dump_postmortem(tmp_path, "two")}
+        assert len(paths) == 2 and all(p.exists() for p in paths)
+
+
+class TestBundle:
+    def test_bundle_schema(self, recorder, obs_enabled, tmp_path):
+        obs.count("bundle.counter")
+        obs.event("bundle.event", detail=1)
+        with obs.trace("bundle.open"):
+            path = recorder.dump_postmortem(tmp_path, "schema",
+                                            exc=ValueError("context"))
+        bundle = json.loads(path.read_text())
+        assert bundle["type"] == "postmortem"
+        assert bundle["reason"] == "schema"
+        assert bundle["uptime_seconds"] > 0
+        assert bundle["exception"]["type"] == "ValueError"
+        assert any(e["name"] == "bundle.event" for e in bundle["entries"])
+        assert any(m["name"] == "bundle.counter" for m in bundle["metrics"])
+        # The span open at dump time shows up in some thread's stack.
+        open_names = [s["name"] for stack in bundle["open_spans"].values()
+                      for s in stack]
+        assert "bundle.open" in open_names
+        assert bundle["process"]["pid"] > 0
+        assert any(t["name"] == "MainThread" for t in bundle["threads"])
+
+    def test_process_snapshot_fields(self, tmp_path):
+        wal = tmp_path / "x.wal"
+        wal.write_bytes(b"0123456789")
+        snap = process_snapshot(wal_path=wal)
+        assert snap["rss_kb"] > 0
+        assert snap["peak_rss_kb"] > 0
+        assert snap["threads"] >= 1
+        assert snap["uptime_seconds"] > 0
+        assert snap["wal_position_bytes"] == 10
+        assert process_snapshot()["wal_position_bytes"] is None

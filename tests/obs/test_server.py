@@ -1,0 +1,197 @@
+"""Tests for the embedded HTTP ops plane (:class:`repro.obs.server.ObsServer`)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.emitters import lint_exposition
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.server import ObsServer
+from repro.obs.slo import GaugeBoundSLO, register_slo
+
+
+class StubWal:
+    path = "/tmp/stub.wal"
+    lag = 3
+    torn_records = 1
+
+
+class StubScheduler:
+    def stats(self):
+        return {"queued": 2, "in_flight": 1, "shed": 0}
+
+
+class StubIndex:
+    """Duck-typed stand-in for ServingIndex: just what the server reads."""
+
+    degraded = False
+    num_papers = 42
+    pool_version = 7
+    index_kind = "exact"
+    nprobe = 8
+
+    def __init__(self, healthy=True, wal=None, scheduler=None):
+        self._healthy = healthy
+        self.wal = wal
+        self.scheduler = scheduler
+        self.probes = []
+
+    def health(self, probe=True):
+        self.probes.append(probe)
+        return {"healthy": self._healthy, "degraded": self.degraded,
+                "probed": probe}
+
+
+def _get(url):
+    """GET *url*; returns (status, headers, body) without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+@pytest.fixture
+def server():
+    srv = ObsServer(recorder=FlightRecorder())
+    with srv:
+        yield srv
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolved(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_unknown_route_is_404(self, server):
+        status, _, body = _get(server.url + "/nope")
+        assert status == 404
+        assert b"no such endpoint" in body
+
+    def test_trailing_slash_routes(self, server):
+        status, _, _ = _get(server.url + "/healthz/")
+        assert status == 200
+
+
+class TestMetrics:
+    def test_scrape_is_lint_clean_with_process_gauges(self, server,
+                                                      obs_enabled):
+        obs.count("server.test.counter", 3, outcome="ok")
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        text = body.decode("utf-8")
+        assert lint_exposition(text) == []
+        assert "repro_process_rss_kb" in text
+        assert "repro_process_uptime_seconds" in text
+        assert 'repro_server_test_counter{outcome="ok"} 3' in text
+
+    def test_scrape_feeds_recorder_counter_deltas(self, server, obs_enabled):
+        obs.count("server.delta.counter")
+        _get(server.url + "/metrics")
+        kinds = [e["kind"] for e in server.recorder.entries()]
+        assert "metrics" in kinds
+
+
+class TestProbes:
+    def test_healthz_without_index(self, server):
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "alive"
+        assert payload["index"] is False
+
+    def test_healthz_stays_200_when_degraded(self):
+        index = StubIndex(healthy=False)
+        index.degraded = True
+        with ObsServer(index, recorder=FlightRecorder()) as srv:
+            status, _, body = _get(srv.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["degraded"] is True
+
+    def test_readyz_503_without_index(self, server):
+        status, _, body = _get(server.url + "/readyz")
+        assert status == 503
+        assert json.loads(body)["healthy"] is False
+
+    def test_readyz_reflects_health_report(self):
+        healthy = StubIndex(healthy=True)
+        with ObsServer(healthy, recorder=FlightRecorder()) as srv:
+            assert _get(srv.url + "/readyz")[0] == 200
+        assert healthy.probes == [False]  # no self-test unless asked
+        unhealthy = StubIndex(healthy=False)
+        with ObsServer(unhealthy, recorder=FlightRecorder()) as srv:
+            status, _, body = _get(srv.url + "/readyz")
+        assert status == 503
+        assert json.loads(body)["healthy"] is False
+
+    def test_readyz_probe_query_forces_self_test(self):
+        index = StubIndex(healthy=True)
+        with ObsServer(index, recorder=FlightRecorder()) as srv:
+            _get(srv.url + "/readyz?probe=1")
+        assert index.probes == [True]
+
+
+class TestSLOEndpoint:
+    def test_slo_report_and_page_burn_trip(self, server, obs_enabled,
+                                           clean_slos):
+        register_slo(GaugeBoundSLO("test.bound", "test.gauge", bound=10.0))
+        obs.gauge("test.gauge", 5.0)
+        status, _, body = _get(server.url + "/slo")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["breaches"] == []
+        assert [s["slo"] for s in payload["slos"]] == ["test.bound"]
+
+        # Burn rate 50x >= the 10x page threshold: the recorder trips.
+        obs.gauge("test.gauge", 500.0)
+        _, _, body = _get(server.url + "/slo")
+        payload = json.loads(body)
+        assert payload["breaches"] == ["test.bound"]
+        trips = [e for e in server.recorder.entries() if e["kind"] == "trip"]
+        assert any(e["name"] == "slo_page_burn[test.bound]" for e in trips)
+        # The ok -> breached transition made it into the ring too.
+        transitions = [e for e in server.recorder.entries()
+                       if e["kind"] == "slo"]
+        assert [e["ok"] for e in transitions] == [False]
+
+
+class TestDebugVars:
+    def test_full_wiring(self, obs_enabled):
+        index = StubIndex(wal=StubWal(), scheduler=StubScheduler())
+        with ObsServer(index, recorder=FlightRecorder()) as srv:
+            status, _, body = _get(srv.url + "/debug/vars")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["scheduler"] == {"queued": 2, "in_flight": 1, "shed": 0}
+        assert payload["wal"] == {"path": "/tmp/stub.wal", "lag": 3,
+                                  "torn_records": 1}
+        assert payload["index"]["pool_size"] == 42
+        assert payload["index"]["index_kind"] == "exact"
+        assert payload["process"]["rss_kb"] > 0
+        assert payload["flightrec"]["armed"] is False
+        assert payload["obs_enabled"] is True
+
+    def test_without_index(self, server):
+        _, _, body = _get(server.url + "/debug/vars")
+        payload = json.loads(body)
+        assert payload["scheduler"] is None
+        assert payload["wal"] is None
+        assert payload["index"] is None
+
+    def test_explicit_scheduler_override(self):
+        srv = ObsServer(scheduler=StubScheduler(), recorder=FlightRecorder())
+        assert srv.scheduler.stats()["queued"] == 2
+
+
+class TestExemplars:
+    def test_exemplars_endpoint(self, server, obs_enabled):
+        with obs.request("exemplar.request"):
+            pass
+        status, _, body = _get(server.url + "/exemplars")
+        assert status == 200
+        payload = json.loads(body)
+        assert "exemplars" in payload

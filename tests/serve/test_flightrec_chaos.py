@@ -1,0 +1,150 @@
+"""Flight recorder under WAL chaos: postmortems that name the crash site.
+
+Companion to ``test_wal_chaos.py``: the same crash-and-recover loop, but
+run with the process-wide flight recorder armed. The contract under test
+is the postmortem story — after an injected ``serve.wal.append`` crash
+the bundle on disk names the fault site, carries the open span stack *at
+fire time* (``serve.add_paper`` was mid-flight when the process "died"),
+and retains the recent request/event history leading up to the crash.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import InjectedFault, WALError
+from repro.resilience import faults
+from repro.serve import ServingIndex, WriteAheadLog
+
+
+def _restart(pool, wal_path):
+    """Simulate a process restart: fresh degraded index, replayed log."""
+    index = ServingIndex(None, papers=list(pool))
+    index.attach_wal(WriteAheadLog(wal_path))
+    return index
+
+
+def _chaos_papers(serve_task, count):
+    papers = []
+    for i in range(count):
+        template = serve_task.new_papers[i % len(serve_task.new_papers)]
+        papers.append(dataclasses.replace(
+            template, id=f"flightrec-{i}", references=(), citation_count=0))
+    return papers
+
+
+@pytest.fixture
+def armed_recorder(tmp_path):
+    rec = obs.get_flight_recorder()
+    rec.clear()
+    rec.arm(tmp_path / "postmortems")
+    try:
+        yield rec
+    finally:
+        rec.disarm()
+        rec.clear()
+
+
+def test_crash_postmortem_names_fault_site(tmp_path, serve_task,
+                                           obs_enabled, armed_recorder):
+    # Pin injection off at the outer scope: under the CI chaos wall an
+    # ambient plan could crash the warmups/restarts; only the explicit
+    # plans injected below may fire here.
+    with faults.inject(None):
+        _run_crash_loop(tmp_path, serve_task, armed_recorder)
+
+
+def _run_crash_loop(tmp_path, serve_task, armed_recorder):
+    pool = list(serve_task.new_papers)
+    wal_path = tmp_path / "ingest.wal"
+    papers = _chaos_papers(serve_task, 6)
+    index = _restart(pool, wal_path)
+
+    # Warmup traffic so the ring has history for the bundle to retain.
+    for paper in papers[:3]:
+        index.add_paper(paper)
+
+    # Crash-and-recover loop: every round crashes the append (probability
+    # 1 inside the scope), leaves the worst-case torn tail, restarts, and
+    # retries cleanly — deterministic, no seeded coin flips.
+    crashes = 0
+    for paper in papers[3:]:
+        with faults.inject("serve.wal.append:1.0"):
+            with pytest.raises(InjectedFault) as exc_info:
+                index.add_paper(paper)
+        crashes += 1
+        # What a dying process does: trip the black box on the way down.
+        armed_recorder.trip("wal_chaos_crash", exc=exc_info.value)
+        if wal_path.exists():
+            with open(wal_path, "ab") as handle:
+                handle.write(b'{"seq": 999, "torn')
+        index = _restart(pool, wal_path)
+        index.add_paper(paper)  # the retry, outside the fault plan
+
+    assert crashes == 3
+    # Rate limiting: the first trip dumped, the rapid-fire rest recorded
+    # without flooding the disk.
+    assert len(armed_recorder.dumps) >= 1
+    bundle = json.loads(armed_recorder.dumps[0].read_text())
+
+    assert bundle["reason"] == "wal_chaos_crash"
+    assert bundle["exception"]["type"] == "InjectedFault"
+    assert "serve.wal.append" in bundle["exception"]["message"]
+
+    # The fault entry captured at fire time names the site AND the spans
+    # that were open when the "process died" — the request was mid-ingest.
+    fault_entries = [e for e in bundle["entries"] if e["kind"] == "fault"]
+    assert fault_entries, "no fault entry made it into the bundle"
+    assert fault_entries[0]["name"] == "serve.wal.append"
+    assert "serve.add_paper" in fault_entries[0]["open_spans"]
+
+    # Recent history survived: the warmup ingests are in the ring as
+    # request summaries preceding the crash.
+    requests = [e for e in bundle["entries"] if e["kind"] == "request"
+                and e["name"] == "serve.add_paper"]
+    assert len(requests) >= 3
+
+    # The post-crash restarts recovered the torn tails and said so: the
+    # torn-record events are in the live ring for the *next* postmortem.
+    torn_events = [e for e in armed_recorder.entries()
+                   if e["kind"] == "event"
+                   and e["name"] == "serve.wal.torn_records"]
+    assert len(torn_events) == crashes
+
+    # Durability contract unchanged by the recorder riding along.
+    final = _restart(pool, wal_path)
+    ingested = [pid for pid in final._positions
+                if pid.startswith("flightrec-")]
+    assert sorted(ingested) == sorted(p.id for p in papers)
+
+    # A final explicit dump (the operator's shutdown bundle) carries the
+    # whole story: crash trips, torn-tail recoveries, retries.
+    path = armed_recorder.dump_postmortem(tmp_path / "postmortems", "final")
+    final_bundle = json.loads(path.read_text())
+    kinds = {e["kind"] for e in final_bundle["entries"]}
+    assert {"fault", "trip", "request", "event", "dump"} <= kinds
+
+
+def test_replay_failure_trips_recorder(tmp_path, serve_task,
+                                       obs_enabled, armed_recorder):
+    """An acknowledged-but-unreplayable record is a page, not a shrug."""
+    pool = list(serve_task.new_papers)
+    wal_path = tmp_path / "ingest.wal"
+    with faults.inject(None):  # ambient chaos-wall plans must not fire
+        index = _restart(pool, wal_path)
+        index.add_paper(_chaos_papers(serve_task, 1)[0])
+
+    # Every replay attempt fails: the 3-attempt retry exhausts, attach
+    # raises WALError, and the recorder black-boxes the failure first.
+    with faults.inject("serve.wal.replay:1.0"):
+        with pytest.raises(WALError, match="refusing to serve"):
+            _restart(pool, wal_path)
+
+    trips = [e for e in armed_recorder.entries() if e["kind"] == "trip"]
+    assert any(e["name"] == "wal_replay_failed" for e in trips)
+    assert len(armed_recorder.dumps) >= 1
+    bundle = json.loads(armed_recorder.dumps[-1].read_text())
+    assert bundle["reason"] == "wal_replay_failed"
+    assert bundle["exception"]["type"] == "WALError"
